@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Reproduces Figure 5 of the paper: user-time breakdown for FLO52.
+ */
+
+#include "user_time_figure.hh"
+
+int
+main()
+{
+    return cedar::bench::runUserTimeFigure("Figure 5", "FLO52");
+}

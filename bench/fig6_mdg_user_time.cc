@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Reproduces Figure 6 of the paper: user-time breakdown for MDG.
+ */
+
+#include "user_time_figure.hh"
+
+int
+main()
+{
+    return cedar::bench::runUserTimeFigure("Figure 6", "MDG");
+}

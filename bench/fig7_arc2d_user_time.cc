@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Reproduces Figure 7 of the paper: user-time breakdown for ARC2D.
+ */
+
+#include "user_time_figure.hh"
+
+int
+main()
+{
+    return cedar::bench::runUserTimeFigure("Figure 7", "ARC2D");
+}

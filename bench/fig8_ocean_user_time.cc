@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Reproduces Figure 8 of the paper: user-time breakdown for OCEAN.
+ */
+
+#include "user_time_figure.hh"
+
+int
+main()
+{
+    return cedar::bench::runUserTimeFigure("Figure 8", "OCEAN");
+}

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Reproduces Figure 9 of the paper: user-time breakdown for ADM.
+ */
+
+#include "user_time_figure.hh"
+
+int
+main()
+{
+    return cedar::bench::runUserTimeFigure("Figure 9", "ADM");
+}

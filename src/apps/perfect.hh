@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Models of the five Perfect Benchmark applications the paper
+ * measures (FLO52, ARC2D, MDG, OCEAN, ADM), as compiled for Cedar
+ * by the parallelising compiler.
+ *
+ * The models are synthetic: we do not have the Perfect codes or a
+ * Cedar to run them on. What they preserve — because the paper's
+ * measured overheads depend on them — is each application's
+ * *structure*: which loop constructs it uses (FLO52 only
+ * SDOALL/CDOALL, ADM only XDOALL, the rest both), how many loops of
+ * what iteration counts and granularity it runs, how much global
+ * memory traffic its iterations generate, its serial fraction, and
+ * its page footprint. Parameters were calibrated against Tables 1-4
+ * of the paper (see EXPERIMENTS.md for the achieved agreement).
+ *
+ * Sizes are roughly 1/20 of the Perfect runs so a full
+ * configuration sweep simulates in seconds; all reproduced
+ * quantities are relative (speedups, concurrency, overhead
+ * percentages).
+ */
+
+#ifndef CEDAR_APPS_PERFECT_HH
+#define CEDAR_APPS_PERFECT_HH
+
+#include <vector>
+
+#include "apps/workload.hh"
+
+namespace cedar::apps
+{
+
+/** FLO52: transonic airfoil flow, multigrid Euler solver. */
+AppModel makeFlo52();
+
+/** ARC2D: implicit-ADI 2D fluid solver. */
+AppModel makeArc2d();
+
+/** MDG: molecular dynamics of liquid water. */
+AppModel makeMdg();
+
+/** OCEAN: 2-D ocean basin simulation (spectral). */
+AppModel makeOcean();
+
+/** ADM: pseudospectral air-pollution model. */
+AppModel makeAdm();
+
+/** All five, in the paper's order. */
+std::vector<AppModel> allPerfectApps();
+
+/** Look up one of the five by (case-insensitive) name. */
+AppModel perfectAppByName(const std::string &name);
+
+} // namespace cedar::apps
+
+#endif // CEDAR_APPS_PERFECT_HH

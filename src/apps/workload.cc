@@ -1,0 +1,129 @@
+#include "apps/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cedar::apps
+{
+
+const char *
+toString(LoopKind k)
+{
+    switch (k) {
+      case LoopKind::sdoall: return "sdoall/cdoall";
+      case LoopKind::xdoall: return "xdoall";
+      case LoopKind::mc_cdoall: return "mc cdoall";
+      case LoopKind::cdoacross: return "cdoacross";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+unsigned
+scaleCount(unsigned n, double f, unsigned floor_at = 1)
+{
+    const auto scaled =
+        static_cast<unsigned>(std::llround(static_cast<double>(n) * f));
+    return std::max(floor_at, scaled);
+}
+
+} // namespace
+
+AppModel
+AppModel::scaled(double f) const
+{
+    // Split the shrink factor between the step count and the outer
+    // iteration count (sqrt(f) each) and keep inner counts and
+    // per-iteration granularity: total work scales by ~f while the
+    // page-fault-to-work ratio and the per-loop overhead structure
+    // stay representative.
+    const double r = std::sqrt(f);
+    AppModel out = *this;
+    out.steps = scaleCount(steps, r);
+    for (auto &phase : out.phases) {
+        if (auto *s = std::get_if<SerialSpec>(&phase)) {
+            s->compute = static_cast<sim::Tick>(
+                static_cast<double>(s->compute) * r);
+            s->pages = scaleCount(s->pages, r, 0);
+        } else if (auto *l = std::get_if<LoopSpec>(&phase)) {
+            l->outerIters = scaleCount(l->outerIters, r);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+bool
+fusable(const LoopSpec &a, const LoopSpec &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    return a.kind == LoopKind::sdoall || a.kind == LoopKind::xdoall;
+}
+
+LoopSpec
+fuse(const LoopSpec &a, const LoopSpec &b)
+{
+    const double wa = static_cast<double>(a.outerIters) * a.innerIters;
+    const double wb = static_cast<double>(b.outerIters) * b.innerIters;
+    LoopSpec out = a;
+    // Keep the finer inner structure; concatenate the outer space so
+    // total bodies are preserved.
+    out.innerIters = std::max(1u, std::min(a.innerIters, b.innerIters));
+    const double bodies = wa + wb;
+    out.outerIters = std::max(
+        1u, static_cast<unsigned>(bodies / out.innerIters + 0.5));
+    // Work-weighted averages keep total compute and traffic.
+    out.computePerIter = static_cast<sim::Tick>(
+        (wa * static_cast<double>(a.computePerIter) +
+         wb * static_cast<double>(b.computePerIter)) /
+        bodies);
+    out.words = static_cast<unsigned>(
+        (wa * a.words + wb * b.words) / bodies);
+    out.regionWords = std::max(a.regionWords, b.regionWords);
+    out.nBuffers = std::max(a.nBuffers, b.nBuffers);
+    out.sharedPages = a.sharedPages + b.sharedPages;
+    out.jitterFrac = std::max(a.jitterFrac, b.jitterFrac);
+    return out;
+}
+
+} // namespace
+
+AppModel
+withFusedLoops(const AppModel &app)
+{
+    AppModel out;
+    out.name = app.name + "+fused";
+    out.steps = app.steps;
+    for (const auto &phase : app.phases) {
+        const auto *l = std::get_if<LoopSpec>(&phase);
+        if (l && !out.phases.empty()) {
+            if (auto *prev = std::get_if<LoopSpec>(&out.phases.back());
+                prev && fusable(*prev, *l)) {
+                *prev = fuse(*prev, *l);
+                continue;
+            }
+        }
+        out.phases.push_back(phase);
+    }
+    return out;
+}
+
+unsigned
+AppModel::countLoops(LoopKind k) const
+{
+    unsigned n = 0;
+    for (const auto &phase : phases) {
+        if (const auto *l = std::get_if<LoopSpec>(&phase)) {
+            if (l->kind == k)
+                ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace cedar::apps

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Workload description: the loop-parallel structure of an
+ * application, in the vocabulary of Cedar Fortran.
+ *
+ * An application is a number of (time) steps, each executing the
+ * same sequence of phases: serial sections, hierarchical
+ * SDOALL/CDOALL nests, flat XDOALL loops, main-cluster-only CDOALL
+ * loops and CDOACROSS loops. The paper's five Perfect Benchmark
+ * applications are modelled as instances of this description (see
+ * apps/perfect.hh), preserving the structural parameters their
+ * measured overheads depend on: construct mix, loop counts,
+ * granularity, traffic intensity and page footprint.
+ */
+
+#ifndef CEDAR_APPS_WORKLOAD_HH
+#define CEDAR_APPS_WORKLOAD_HH
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cedar::apps
+{
+
+/** Parallel-loop constructs provided by Cedar Fortran. */
+enum class LoopKind
+{
+    sdoall,    //!< hierarchical SDOALL/CDOALL nest (cross-cluster)
+    xdoall,    //!< flat XDOALL (every CE competes for iterations)
+    mc_cdoall, //!< CDOALL without an outer spread loop (main cluster)
+    cdoacross, //!< main-cluster loop with a serialised region
+};
+
+const char *toString(LoopKind k);
+
+/** A serial section executed by the main task's lead CE. */
+struct SerialSpec
+{
+    sim::Tick compute = 0; //!< cycles of serial computation
+    unsigned ioOps = 0;    //!< blocking I/O operations (ctx switches)
+    unsigned pages = 0;    //!< fresh pages touched per step
+};
+
+/** One parallel loop phase. */
+struct LoopSpec
+{
+    LoopKind kind = LoopKind::sdoall;
+    /** sdoall: outer iterations, self-scheduled across clusters;
+     *  xdoall / mc / cdoacross: total iterations. */
+    unsigned outerIters = 1;
+    /** sdoall only: cdoall iterations inside one outer iteration. */
+    unsigned innerIters = 1;
+    /** compute cycles per (inner) iteration body. */
+    sim::Tick computePerIter = 1000;
+    /** relative +- jitter applied per iteration body. */
+    double jitterFrac = 0.15;
+    /** global double-words accessed per (inner) iteration body. */
+    unsigned words = 0;
+    /** words per pipelined vector burst. */
+    unsigned burstLen = 64;
+    /**
+     * Stencil halo: extra words read on both sides of an
+     * iteration's section. Neighbouring iterations on different
+     * CEs then touch shared boundary pages simultaneously — the
+     * source of Xylem's *concurrent* page faults (they cannot occur
+     * on the 1-processor configuration).
+     */
+    unsigned haloWords = 0;
+    /**
+     * Shared lookup-table pages per region buffer. Every iteration
+     * also reads one shared page (for an sdoall nest, the page is a
+     * function of the *outer* iteration, so the cluster's CEs hit
+     * it together when the outer iteration starts — producing
+     * concurrent page faults on its first touch).
+     */
+    unsigned sharedPages = 0;
+    /** size of the loop's array region in words. */
+    unsigned regionWords = 1 << 16;
+    /** distinct regions cycled across steps (drives page faults). */
+    unsigned nBuffers = 1;
+    /** cdoacross only: serialised-region cycles per iteration. */
+    sim::Tick serialRegion = 0;
+    /**
+     * Hot-spot mitigation for the xdoall index word (the software
+     * combining the paper points to, realised as chunked
+     * self-scheduling): a CE's pick-up grabs a block of this many
+     * iterations with one global fetch&add and dispenses the rest
+     * within its cluster for free. 1 = the measured Cedar
+     * behaviour (every iteration is a global transaction).
+     */
+    unsigned pickupBlock = 1;
+    /**
+     * Vector prefetching (studied for Cedar in Kuck et al. [9]):
+     * when true, an iteration's global-memory bursts overlap its
+     * computation instead of stalling it, hiding latency (but not
+     * adding bandwidth).
+     */
+    bool prefetch = false;
+};
+
+using Phase = std::variant<SerialSpec, LoopSpec>;
+
+/** A whole application: steps x phases. */
+struct AppModel
+{
+    std::string name;
+    unsigned steps = 1;
+    std::vector<Phase> phases;
+
+    /**
+     * A structurally identical application shrunk by @p f (0 < f <=
+     * 1): scales step and iteration counts, preserving per-iteration
+     * granularity, so tests run fast while exercising the same code
+     * paths.
+     */
+    AppModel scaled(double f) const;
+
+    /** Count loop phases of a given construct. */
+    unsigned countLoops(LoopKind k) const;
+};
+
+/**
+ * The loop-fusion optimisation the paper proposes in Section 6:
+ * merge runs of adjacent, dependence-free spread loops into one, so
+ * a series of multicluster finish barriers becomes a single one.
+ *
+ * Adjacent sdoall (or adjacent xdoall) phases are concatenated into
+ * one loop whose outer iteration space is the union; per-iteration
+ * compute/traffic become the work-weighted average, preserving the
+ * total work while eliminating the intermediate barriers and loop
+ * set-ups.
+ */
+AppModel withFusedLoops(const AppModel &app);
+
+} // namespace cedar::apps
+
+#endif // CEDAR_APPS_WORKLOAD_HH

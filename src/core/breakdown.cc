@@ -1,0 +1,213 @@
+#include "core/breakdown.hh"
+
+#include <unordered_set>
+
+namespace cedar::core
+{
+
+namespace
+{
+
+CtBreakdown
+fromAccount(const os::CeAccount &a, sim::Tick ct, unsigned n_ces)
+{
+    const double denom = static_cast<double>(ct) * n_ces;
+    CtBreakdown b;
+    // Cedar gang-schedules a cluster: CEs idling while their task
+    // holds the cluster are "user" time from the Q facility's
+    // cluster-utilisation viewpoint, so idle folds into user.
+    b.userPct = 100.0 *
+                (static_cast<double>(a.inCat(os::TimeCat::user)) +
+                 static_cast<double>(a.inCat(os::TimeCat::idle))) /
+                denom;
+    b.systemPct =
+        100.0 * static_cast<double>(a.inCat(os::TimeCat::system)) / denom;
+    b.interruptPct =
+        100.0 * static_cast<double>(a.inCat(os::TimeCat::interrupt)) /
+        denom;
+    b.kspinPct =
+        100.0 * static_cast<double>(a.inCat(os::TimeCat::kspin)) / denom;
+    return b;
+}
+
+} // namespace
+
+CtBreakdown
+ctBreakdown(const RunResult &r, sim::ClusterId c)
+{
+    return fromAccount(r.clusterAcct.at(c), r.ct, r.cesPerCluster);
+}
+
+CtBreakdown
+ctBreakdownTotal(const RunResult &r)
+{
+    return fromAccount(r.totalAcct, r.ct, r.nprocs);
+}
+
+std::vector<OsActivityRow>
+osActivityTable(const RunResult &r)
+{
+    std::vector<OsActivityRow> rows;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(os::OsAct::NUM);
+         ++i) {
+        const auto act = static_cast<os::OsAct>(i);
+        const sim::Tick t = r.totalAcct.inOs(act);
+        OsActivityRow row;
+        row.act = act;
+        row.seconds = r.activitySeconds(t);
+        row.pctOfCt = 100.0 * r.fractionOfCt(t);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+double
+UserBreakdown::pctOf(os::UserAct a, sim::Tick ct) const
+{
+    return ct ? 100.0 * static_cast<double>(in(a)) /
+                    static_cast<double>(ct)
+              : 0.0;
+}
+
+double
+UserBreakdown::overheadPct(sim::Tick ct) const
+{
+    return pctOf(os::UserAct::loop_setup, ct) +
+           pctOf(os::UserAct::iter_pickup, ct) +
+           pctOf(os::UserAct::barrier_wait, ct) +
+           pctOf(os::UserAct::helper_wait, ct);
+}
+
+UserBreakdown
+userBreakdown(const RunResult &r, sim::ClusterId c)
+{
+    UserBreakdown b;
+    const auto &a = r.ceAcct.at(static_cast<std::size_t>(c) *
+                                r.cesPerCluster);
+    for (std::size_t i = 0; i < b.acts.size(); ++i) {
+        b.acts[i] = a.userAct[i];
+        b.totalUser += a.userAct[i];
+    }
+    return b;
+}
+
+std::vector<UserBreakdown>
+userBreakdownFromTrace(const RunResult &r)
+{
+    using hpm::EventId;
+    using os::UserAct;
+
+    struct CeState
+    {
+        bool inUser = false;
+        UserAct act = UserAct::serial;
+        sim::Tick start = 0;
+        sim::Tick osInside = 0; //!< OS window time to subtract
+        sim::Tick osStart = 0;
+        unsigned osDepth = 0;
+    };
+
+    std::vector<CeState> state(r.nprocs);
+    std::vector<UserBreakdown> out(r.nClusters);
+    std::unordered_set<std::uint32_t> mcSeqs;
+
+    auto begin = [&](unsigned ce, UserAct act, sim::Tick t) {
+        auto &st = state[ce];
+        st.inUser = true;
+        st.act = act;
+        st.start = t;
+        st.osInside = 0;
+    };
+    auto end = [&](unsigned ce, sim::Tick t) {
+        auto &st = state[ce];
+        if (!st.inUser)
+            return;
+        st.inUser = false;
+        const sim::Tick wall = t - st.start;
+        const sim::Tick user = wall > st.osInside ? wall - st.osInside : 0;
+        auto &bd = out[ce / r.cesPerCluster];
+        bd.acts[static_cast<std::size_t>(st.act)] += user;
+        bd.totalUser += user;
+    };
+
+    for (const auto &rec : r.trace) {
+        const unsigned ce = rec.ce;
+        if (ce >= r.nprocs)
+            continue;
+        // The task-level breakdown follows the lead CE of each
+        // cluster (see UserBreakdown); mcloop_enter must still be
+        // seen to classify iteration records.
+        if (ce % r.cesPerCluster != 0 && rec.id() != EventId::mcloop_enter)
+            continue;
+        auto &st = state[ce];
+        switch (rec.id()) {
+          case EventId::serial_enter:
+            begin(ce, UserAct::serial, rec.when);
+            break;
+          case EventId::serial_exit:
+            end(ce, rec.when);
+            break;
+          case EventId::loop_setup_enter:
+            begin(ce, UserAct::loop_setup, rec.when);
+            break;
+          case EventId::loop_setup_exit:
+            end(ce, rec.when);
+            break;
+          case EventId::mcloop_enter:
+            mcSeqs.insert(hpm::loopSeq(rec.arg));
+            break;
+          case EventId::pickup_enter:
+            begin(ce, UserAct::iter_pickup, rec.when);
+            break;
+          case EventId::pickup_exit:
+            end(ce, rec.when);
+            break;
+          case EventId::iter_start:
+            begin(ce,
+                  mcSeqs.count(rec.arg) ? UserAct::mc_loop
+                                        : UserAct::iter_exec,
+                  rec.when);
+            break;
+          case EventId::iter_end:
+            end(ce, rec.when);
+            break;
+          case EventId::barrier_enter:
+            begin(ce, UserAct::barrier_wait, rec.when);
+            break;
+          case EventId::barrier_exit:
+            end(ce, rec.when);
+            break;
+          case EventId::wait_enter:
+            begin(ce, UserAct::helper_wait, rec.when);
+            break;
+          case EventId::wait_exit:
+            end(ce, rec.when);
+            break;
+          case EventId::cls_sync_enter:
+            begin(ce, static_cast<UserAct>(rec.arg), rec.when);
+            break;
+          case EventId::cls_sync_exit:
+            end(ce, rec.when);
+            break;
+          case EventId::os_enter:
+            if (st.osDepth++ == 0)
+                st.osStart = rec.when;
+            break;
+          case EventId::os_exit:
+            if (st.osDepth > 0 && --st.osDepth == 0 && st.inUser)
+                st.osInside += rec.when - st.osStart;
+            break;
+          case EventId::os_overlay:
+            // Asynchronous charge (CPI / context switch / kernel
+            // spin) elongating the current user interval.
+            if (st.inUser)
+                st.osInside += rec.arg;
+            break;
+          default:
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace cedar::core

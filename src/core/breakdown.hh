@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The paper's breakdown methodology.
+ *
+ * Two independent measurement paths produce the breakdowns:
+ *
+ *  - the "Q" path: the OS accounting ledger, giving the top-level
+ *    completion-time breakdown (Figure 3) and the Table-2 OS
+ *    activity detail;
+ *  - the cedarhpm path: reconstruction of the user-time breakdown
+ *    (Figures 5-9) from the event trace, exactly as the paper does
+ *    from its instrumented runtime library.
+ *
+ * Tests cross-validate the two paths against each other.
+ */
+
+#ifndef CEDAR_CORE_BREAKDOWN_HH
+#define CEDAR_CORE_BREAKDOWN_HH
+
+#include <array>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "os/accounting.hh"
+#include "sim/types.hh"
+
+namespace cedar::core
+{
+
+/** Figure-3 style completion-time breakdown for one cluster. */
+struct CtBreakdown
+{
+    double userPct = 0;      //!< incl. intra-cluster idle, as on Cedar
+    double systemPct = 0;
+    double interruptPct = 0;
+    double kspinPct = 0;
+
+    double osTotalPct() const
+    {
+        return systemPct + interruptPct + kspinPct;
+    }
+};
+
+/** Completion-time breakdown of cluster @p c of a run. */
+CtBreakdown ctBreakdown(const RunResult &r, sim::ClusterId c);
+
+/** Machine-wide completion-time breakdown. */
+CtBreakdown ctBreakdownTotal(const RunResult &r);
+
+/** Table-2 style OS activity detail. */
+struct OsActivityRow
+{
+    os::OsAct act;
+    double seconds;   //!< paper-style seconds (aggregate / nprocs)
+    double pctOfCt;   //!< contribution to completion time
+};
+
+std::vector<OsActivityRow> osActivityTable(const RunResult &r);
+
+/**
+ * Figure 4/5-9 user-time breakdown for one cluster task.
+ *
+ * A cluster task is gang-scheduled: when its lead CE spins (at the
+ * finish barrier, or busy-waiting for work) the other CEs idle, and
+ * when iterations execute the lead executes alongside the others.
+ * The lead CE's timeline is therefore the task's timeline, which is
+ * what the paper's per-task breakdown figures show; percentages are
+ * over the completion time.
+ */
+struct UserBreakdown
+{
+    /** ticks per user activity on the task's lead CE */
+    std::array<sim::Tick, static_cast<std::size_t>(os::UserAct::NUM)>
+        acts{};
+    sim::Tick totalUser = 0;
+
+    sim::Tick
+    in(os::UserAct a) const
+    {
+        return acts[static_cast<std::size_t>(a)];
+    }
+
+    /** Percentage of the task's completion time. */
+    double pctOf(os::UserAct a, sim::Tick ct) const;
+
+    /** Sum of the parallelization-overhead components. */
+    double overheadPct(sim::Tick ct) const;
+};
+
+/** Ledger-path user breakdown of the task on cluster @p c. */
+UserBreakdown userBreakdown(const RunResult &r, sim::ClusterId c);
+
+/**
+ * Trace-path user breakdown (one per cluster task), reconstructed
+ * from the cedarhpm records the lead CEs posted, with OS activity
+ * windows subtracted from enclosing user intervals. Requires the
+ * run to have been made with RunOptions::collectTrace.
+ */
+std::vector<UserBreakdown> userBreakdownFromTrace(const RunResult &r);
+
+} // namespace cedar::core
+
+#endif // CEDAR_CORE_BREAKDOWN_HH

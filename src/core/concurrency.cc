@@ -1,0 +1,49 @@
+#include "core/concurrency.hh"
+
+#include <algorithm>
+
+namespace cedar::core
+{
+
+TaskConcurrency
+taskConcurrency(const RunResult &r, sim::ClusterId c)
+{
+    TaskConcurrency t;
+    const auto &w = r.windows.at(c);
+    sim::Tick par_wall = w.sxWall;
+    if (c == 0)
+        par_wall += w.mcWall;
+    t.pf = r.ct ? static_cast<double>(par_wall) / static_cast<double>(r.ct)
+                : 0.0;
+    t.avgConcurr = r.clusterConcurrency.at(c);
+    if (t.pf > 1e-9) {
+        t.parConcurr = (t.avgConcurr - (1.0 - t.pf)) / t.pf;
+        t.parConcurr =
+            std::clamp(t.parConcurr, 1.0,
+                       static_cast<double>(r.cesPerCluster));
+    } else {
+        t.parConcurr = 1.0;
+    }
+    return t;
+}
+
+std::vector<TaskConcurrency>
+allTaskConcurrency(const RunResult &r)
+{
+    std::vector<TaskConcurrency> out;
+    for (unsigned c = 0; c < r.nClusters; ++c)
+        out.push_back(taskConcurrency(r, static_cast<sim::ClusterId>(c)));
+    return out;
+}
+
+double
+totalParConcurrency(const RunResult &r)
+{
+    double total = 0;
+    for (unsigned c = 0; c < r.nClusters; ++c)
+        total += taskConcurrency(r, static_cast<sim::ClusterId>(c))
+                     .parConcurr;
+    return total;
+}
+
+} // namespace cedar::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Average parallel-loop concurrency (paper Section 7, Table 3).
+ *
+ * From pf — the fraction of completion time a cluster spends
+ * executing parallel loops — and the statfx average concurrency of
+ * the cluster, the average number of CEs active *during parallel
+ * loop execution* follows from the paper's equation:
+ *
+ *     (1 - pf) + pf * par_concurr = avg_concurr
+ *
+ * because the concurrency during non-parallel work (serial code,
+ * sdoall pick-up, barrier spins, busy-waits) is 1 per cluster.
+ */
+
+#ifndef CEDAR_CORE_CONCURRENCY_HH
+#define CEDAR_CORE_CONCURRENCY_HH
+
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sim/types.hh"
+
+namespace cedar::core
+{
+
+/** Concurrency quantities of one cluster task. */
+struct TaskConcurrency
+{
+    double pf = 0;          //!< parallel fraction of completion time
+    double avgConcurr = 0;  //!< statfx average concurrency
+    double parConcurr = 0;  //!< average parallel-loop concurrency
+};
+
+/**
+ * Compute the per-task values for cluster @p c of a run. For the
+ * main task (cluster 0), pf includes main-cluster-only loops.
+ */
+TaskConcurrency taskConcurrency(const RunResult &r, sim::ClusterId c);
+
+/** All clusters of a run (Table 3 rows for one configuration). */
+std::vector<TaskConcurrency> allTaskConcurrency(const RunResult &r);
+
+/** Sum of par_concurr over all clusters (Section 7's
+ *  par_concurr_total). */
+double totalParConcurrency(const RunResult &r);
+
+} // namespace cedar::core
+
+#endif // CEDAR_CORE_CONCURRENCY_HH

@@ -1,0 +1,81 @@
+#include "core/contention.hh"
+
+#include "core/concurrency.hh"
+
+namespace cedar::core
+{
+
+ContentionEstimate
+estimateContention(const RunResult &run, const RunResult &uni)
+{
+    ContentionEstimate e;
+
+    const double t1_mc = uni.toSeconds(uni.windows.at(0).mcWall);
+    const double t1_sx = uni.toSeconds(uni.windows.at(0).sxWall);
+
+    const auto &w0 = run.windows.at(0);
+    e.tpActualSec = run.toSeconds(w0.sxWall + w0.mcWall);
+
+    const TaskConcurrency main_task = taskConcurrency(run, 0);
+    if (run.nClusters == 1) {
+        e.tpIdealSec = (t1_mc + t1_sx) /
+                       std::max(main_task.parConcurr, 1.0);
+    } else {
+        const double total = totalParConcurrency(run);
+        e.tpIdealSec = t1_mc / std::max(main_task.parConcurr, 1.0) +
+                       t1_sx / std::max(total, 1.0);
+    }
+
+    const double ct = run.seconds();
+    e.ovContPct =
+        ct > 0 ? 100.0 * (e.tpActualSec - e.tpIdealSec) / ct : 0.0;
+    return e;
+}
+
+CtDecomposition
+decomposeCompletionTime(const RunResult &run, const RunResult &uni)
+{
+    CtDecomposition d;
+    if (run.ct == 0)
+        return d;
+    const double ct = static_cast<double>(run.ct);
+    const auto &lead = run.ceAcct.at(0);
+
+    d.serialPct =
+        100.0 * static_cast<double>(lead.inUser(os::UserAct::serial)) /
+        ct;
+    d.barrierPct =
+        100.0 *
+        static_cast<double>(lead.inUser(os::UserAct::barrier_wait)) / ct;
+    d.setupPct =
+        100.0 *
+        static_cast<double>(lead.inUser(os::UserAct::loop_setup)) / ct;
+
+    const auto e = estimateContention(run, uni);
+    d.loopIdealPct = 100.0 * e.tpIdealSec / run.seconds();
+    d.contentionPct = e.ovContPct;
+
+    d.residualPct = 100.0 - d.explainedPct();
+    return d;
+}
+
+double
+groundTruthContentionPct(const RunResult &run)
+{
+    // Sum of per-CE queueing stalls, expressed like the paper's
+    // Ov_cont: wall-clock-equivalent excess over an unloaded
+    // machine, as a fraction of completion time. Stalls on
+    // different CEs overlap in wall time, so divide by the
+    // average parallel-loop concurrency of the machine.
+    double par_total = 0;
+    for (unsigned c = 0; c < run.nClusters; ++c)
+        par_total += taskConcurrency(run, static_cast<sim::ClusterId>(c))
+                         .parConcurr;
+    if (par_total < 1.0)
+        par_total = 1.0;
+    const double stall_sec = run.toSeconds(run.ceQueueStall) / par_total;
+    const double ct = run.seconds();
+    return ct > 0 ? 100.0 * stall_sec / ct : 0.0;
+}
+
+} // namespace cedar::core

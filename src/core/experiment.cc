@@ -1,0 +1,71 @@
+#include "core/experiment.hh"
+
+#include "hw/machine.hh"
+
+namespace cedar::core
+{
+
+RunResult
+runExperiment(const apps::AppModel &app, unsigned nprocs,
+              const RunOptions &opts)
+{
+    hw::CedarConfig cfg = hw::CedarConfig::withProcs(nprocs);
+    cfg.seed = opts.seed;
+    cfg.costs.ctx_rtl_coop = opts.ctxRtlCoop;
+
+    hw::Machine m(cfg);
+    m.trace().setEnabled(opts.collectTrace);
+
+    const apps::AppModel model =
+        opts.scale < 1.0 ? app.scaled(opts.scale) : app;
+    rtl::Runtime rt(m, model);
+    rt.run(opts.eventLimit);
+
+    RunResult r;
+    r.app = app.name;
+    r.nprocs = nprocs;
+    r.nClusters = cfg.nClusters;
+    r.cesPerCluster = cfg.cesPerCluster;
+    r.clockHz = cfg.clockHz;
+    r.ct = rt.completionTime();
+
+    for (unsigned c = 0; c < cfg.nClusters; ++c) {
+        r.clusterAcct.push_back(
+            m.acct().cluster(static_cast<sim::ClusterId>(c)));
+        r.clusterConcurrency.push_back(
+            m.statfx().clusterConcurrency(static_cast<sim::ClusterId>(c)));
+    }
+    r.totalAcct = m.acct().total();
+    for (unsigned i = 0; i < m.numCes(); ++i)
+        r.ceAcct.push_back(m.acct().ce(static_cast<sim::CeId>(i)));
+    r.machineConcurrency = m.statfx().machineConcurrency();
+    r.windows = rt.windows();
+    r.rtlStats = rt.stats();
+    r.osStats = m.xylem().stats();
+    r.seqFaults = m.xylem().pageTable().seqFaults();
+    r.concFaults = m.xylem().pageTable().concFaults();
+
+    for (unsigned i = 0; i < m.numCes(); ++i) {
+        const auto &ce = m.ce(static_cast<sim::CeId>(i));
+        r.ceQueueStall += ce.queueingStall();
+        r.globalWords += ce.globalWords();
+    }
+    r.resourceWait = m.net().totalWaitTicks();
+
+    if (opts.collectTrace)
+        r.trace = m.trace().records();
+    return r;
+}
+
+std::vector<RunResult>
+runSweep(const apps::AppModel &app, const RunOptions &opts,
+         const std::vector<unsigned> &procs)
+{
+    std::vector<RunResult> out;
+    out.reserve(procs.size());
+    for (unsigned p : procs)
+        out.push_back(runExperiment(app, p, opts));
+    return out;
+}
+
+} // namespace cedar::core

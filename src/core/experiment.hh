@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Experiment harness: runs an application model on a Cedar
+ * configuration and collects everything the paper's analyses need —
+ * the accounting ledger, statfx concurrency, parallel-loop windows,
+ * runtime/OS counters, network statistics and the cedarhpm trace.
+ */
+
+#ifndef CEDAR_CORE_EXPERIMENT_HH
+#define CEDAR_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hh"
+#include "hpm/trace.hh"
+#include "hw/config.hh"
+#include "os/accounting.hh"
+#include "os/xylem.hh"
+#include "rtl/runtime.hh"
+#include "sim/types.hh"
+
+namespace cedar::core
+{
+
+/** Everything measured in one application run. */
+struct RunResult
+{
+    std::string app;
+    unsigned nprocs = 0;
+    unsigned nClusters = 0;
+    unsigned cesPerCluster = 0;
+    double clockHz = sim::default_clock_hz;
+
+    sim::Tick ct = 0; //!< completion time, ticks
+
+    /** Per-cluster and machine-total accounting aggregates. */
+    std::vector<os::CeAccount> clusterAcct;
+    os::CeAccount totalAcct;
+    /** Per-CE accounts (for fine-grained analyses/tests). */
+    std::vector<os::CeAccount> ceAcct;
+
+    /** statfx: per-cluster and summed average concurrency. */
+    std::vector<double> clusterConcurrency;
+    double machineConcurrency = 0.0;
+
+    /** Parallel-loop wall-clock windows per cluster. */
+    std::vector<rtl::ClusterWindow> windows;
+
+    rtl::RuntimeStats rtlStats;
+    os::XylemStats osStats;
+    std::uint64_t seqFaults = 0;
+    std::uint64_t concFaults = 0;
+
+    /** Ground-truth queueing observed by CEs on their own traffic. */
+    sim::Tick ceQueueStall = 0;
+    /** Queueing wait accumulated inside switches and modules. */
+    sim::Tick resourceWait = 0;
+    std::uint64_t globalWords = 0;
+
+    /** The cedarhpm trace (empty when tracing disabled). */
+    std::vector<hpm::Record> trace;
+
+    double seconds() const { return static_cast<double>(ct) / clockHz; }
+    double toSeconds(sim::Tick t) const
+    {
+        return static_cast<double>(t) / clockHz;
+    }
+
+    /**
+     * Paper-style seconds of an aggregate activity: total ticks
+     * across CEs divided by the processor count (activities such as
+     * CPIs and context switches run on all CEs in parallel, so this
+     * matches their wall-clock contribution).
+     */
+    double
+    activitySeconds(sim::Tick aggregate_ticks) const
+    {
+        return static_cast<double>(aggregate_ticks) /
+               (static_cast<double>(nprocs) * clockHz);
+    }
+
+    /** Fraction of completion time, from aggregate CE ticks. */
+    double
+    fractionOfCt(sim::Tick aggregate_ticks) const
+    {
+        return static_cast<double>(aggregate_ticks) /
+               (static_cast<double>(ct) * nprocs);
+    }
+};
+
+/** Options controlling a run. */
+struct RunOptions
+{
+    std::uint64_t seed = 1;
+    bool collectTrace = false;
+    /** Workload scale factor (1.0 = full size). */
+    double scale = 1.0;
+    std::uint64_t eventLimit = 500'000'000ULL;
+    /** Enable the Section-5.1 context-switch/RTL cooperation. */
+    bool ctxRtlCoop = false;
+};
+
+/**
+ * Run @p app on an @p nprocs configuration (1/4/8/16/32) and return
+ * the full measurement record.
+ */
+RunResult runExperiment(const apps::AppModel &app, unsigned nprocs,
+                        const RunOptions &opts = {});
+
+/** Run the full configuration sweep the paper uses. */
+std::vector<RunResult> runSweep(const apps::AppModel &app,
+                                const RunOptions &opts = {},
+                                const std::vector<unsigned> &procs = {
+                                    1, 4, 8, 16, 32});
+
+} // namespace cedar::core
+
+#endif // CEDAR_CORE_EXPERIMENT_HH

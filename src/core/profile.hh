@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-loop-phase profiling from the cedarhpm trace.
+ *
+ * The paper's optimisation guidance (merge loops, convert xdoalls
+ * to sdoall/cdoall nests) presumes you know *which* loops carry the
+ * overhead. This module aggregates the trace by static loop phase:
+ * invocations, wall time, bodies executed, pick-up time and the
+ * finish-barrier time each phase caused — i.e. a profile a Cedar
+ * programmer would have wanted next to Figures 5-9.
+ */
+
+#ifndef CEDAR_CORE_PROFILE_HH
+#define CEDAR_CORE_PROFILE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sim/types.hh"
+
+namespace cedar::core
+{
+
+/** Aggregated measurements of one static loop phase. */
+struct LoopPhaseProfile
+{
+    unsigned phaseIdx = 0;
+    bool isMainClusterOnly = false;
+    bool isFlat = false; //!< xdoall (vs hierarchical sdoall)
+
+    std::uint64_t invocations = 0;
+    std::uint64_t bodies = 0;
+    /** Wall time from posting to loop_done / mcloop_exit. */
+    sim::Tick wall = 0;
+    /** Main-task finish-barrier time attributable to this phase. */
+    sim::Tick barrierWall = 0;
+    /** Pick-up time summed over all CEs for this phase. */
+    sim::Tick pickupCpu = 0;
+
+    double
+    wallPctOf(sim::Tick ct) const
+    {
+        return ct ? 100.0 * static_cast<double>(wall) /
+                        static_cast<double>(ct)
+                  : 0.0;
+    }
+};
+
+/**
+ * Build the per-phase profile of a traced run. Requires
+ * RunOptions::collectTrace; returns phases in descending wall-time
+ * order.
+ */
+std::vector<LoopPhaseProfile> profileLoopPhases(const RunResult &r);
+
+/** Print the profile as a table (wall %, barrier %, pick-up). */
+void printLoopProfile(std::ostream &os, const RunResult &r,
+                      const std::vector<LoopPhaseProfile> &profile);
+
+} // namespace cedar::core
+
+#endif // CEDAR_CORE_PROFILE_HH

@@ -1,0 +1,60 @@
+#include "core/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cedar::core
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        width[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    }
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t i = 0; i < headers_.size(); ++i) {
+            os << " " << std::setw(static_cast<int>(width[i]))
+               << (i < cells.size() ? cells[i] : "") << " |";
+        }
+        os << "\n";
+    };
+
+    line(headers_);
+    os << "|";
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        os << std::string(width[i] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+} // namespace cedar::core

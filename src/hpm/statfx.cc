@@ -1,0 +1,54 @@
+#include "hpm/statfx.hh"
+
+namespace cedar::hpm
+{
+
+Statfx::Statfx(sim::EventQueue &eq, unsigned n_clusters,
+               std::function<unsigned(sim::ClusterId)> count_active,
+               sim::Tick period)
+    : eq_(eq), countActive_(std::move(count_active)), period_(period),
+      activeSum_(n_clusters, 0)
+{
+}
+
+void
+Statfx::start()
+{
+    running_ = true;
+    eq_.scheduleIn(period_, [this] { sample(); });
+}
+
+void
+Statfx::sample()
+{
+    if (!running_)
+        return;
+    for (sim::ClusterId c = 0;
+         c < static_cast<sim::ClusterId>(activeSum_.size()); ++c) {
+        activeSum_[c] += countActive_(c);
+    }
+    ++samples_;
+    eq_.scheduleIn(period_, [this] { sample(); });
+}
+
+double
+Statfx::clusterConcurrency(sim::ClusterId c) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    return static_cast<double>(activeSum_.at(c)) /
+           static_cast<double>(samples_);
+}
+
+double
+Statfx::machineConcurrency() const
+{
+    double total = 0.0;
+    for (sim::ClusterId c = 0;
+         c < static_cast<sim::ClusterId>(activeSum_.size()); ++c) {
+        total += clusterConcurrency(c);
+    }
+    return total;
+}
+
+} // namespace cedar::hpm

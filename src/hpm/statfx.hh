@@ -1,0 +1,68 @@
+/**
+ * @file
+ * statfx: the software concurrency monitor.
+ *
+ * Samples the number of active CEs on each cluster at a fixed
+ * period; the average over a run is the paper's "average
+ * concurrency / processor utilisation". A CE busy-waiting counts as
+ * active (it is executing the spin loop) while detached CEs of a
+ * cluster are idle — which is exactly why, during serial code, the
+ * concurrency is 1 per cluster.
+ */
+
+#ifndef CEDAR_HPM_STATFX_HH
+#define CEDAR_HPM_STATFX_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cedar::hpm
+{
+
+/** Periodic sampling concurrency monitor. */
+class Statfx
+{
+  public:
+    /**
+     * @param eq event queue driving the samples.
+     * @param n_clusters clusters to sample.
+     * @param count_active callback returning the number of active
+     *        CEs on a cluster right now.
+     * @param period sampling period in ticks.
+     */
+    Statfx(sim::EventQueue &eq, unsigned n_clusters,
+           std::function<unsigned(sim::ClusterId)> count_active,
+           sim::Tick period);
+
+    /** Begin sampling; keeps rescheduling itself until stop(). */
+    void start();
+
+    /** Stop sampling (takes effect at the next sample point). */
+    void stop() { running_ = false; }
+
+    std::uint64_t samples() const { return samples_; }
+
+    /** Mean active CEs on one cluster over the sampled window. */
+    double clusterConcurrency(sim::ClusterId c) const;
+
+    /** Sum of the per-cluster concurrency values (paper Table 1). */
+    double machineConcurrency() const;
+
+  private:
+    void sample();
+
+    sim::EventQueue &eq_;
+    std::function<unsigned(sim::ClusterId)> countActive_;
+    sim::Tick period_;
+    bool running_ = false;
+    std::uint64_t samples_ = 0;
+    std::vector<std::uint64_t> activeSum_;
+};
+
+} // namespace cedar::hpm
+
+#endif // CEDAR_HPM_STATFX_HH

@@ -1,0 +1,225 @@
+#include "hw/ce.hh"
+
+#include <cassert>
+
+#include "hpm/trace.hh"
+
+namespace cedar::hw
+{
+
+Ce::Ce(sim::EventQueue &eq, net::Network &net, os::Accounting &acct,
+       hpm::Trace &trace, const CostModel &costs, sim::CeId id,
+       sim::ClusterId cluster, int local_index)
+    : eq_(eq), net_(net), acct_(acct), trace_(trace), costs_(costs),
+      id_(id), cluster_(cluster), local_(local_index)
+{
+}
+
+void
+Ce::markIdle()
+{
+    assert(!busy_);
+    waiting_ = false;
+}
+
+void
+Ce::finishOp(sim::Tick completion, sim::Cont k)
+{
+    assert(!busy_ && "CE already has an outstanding primitive");
+    assert(!waiting_ && "CE cannot start a primitive while waiting");
+    busy_ = true;
+    eq_.schedule(completion, [this, k = std::move(k)] { opDone(k); });
+}
+
+void
+Ce::opDone(sim::Cont k)
+{
+    if (penalty_ > 0) {
+        // Interrupts arrived during the op: elongate it. The time
+        // was already accounted by chargeInterrupt().
+        const sim::Tick p = penalty_;
+        penalty_ = 0;
+        eq_.scheduleIn(p, [this, k = std::move(k)] { opDone(k); });
+        return;
+    }
+    busy_ = false;
+    k();
+}
+
+void
+Ce::compute(sim::Tick n, os::UserAct act, sim::Cont k)
+{
+    acct_.addUser(id_, act, n);
+    finishOp(eq_.now() + n, std::move(k));
+}
+
+Ce::BurstTiming
+Ce::reserveBurst(sim::Addr addr, unsigned words)
+{
+    const sim::Tick start = eq_.now();
+    sim::Tick issue = start;
+    sim::Tick complete = start;
+    sim::Tick unloaded_last = 0;
+    unsigned issued = 0;
+
+    for (const auto &chunk : net_.gmemMap().chunkify(addr, words)) {
+        const auto res = net_.chunkAccess(issue, cluster_, local_, chunk);
+        complete = std::max(complete, res.complete);
+        unloaded_last = res.unloaded;
+        issued += chunk.len;
+        // The CE issues the stream pipelined at one word per cycle.
+        issue = start + issued;
+    }
+
+    globalWords_ += words;
+    ++globalAccesses_;
+
+    BurstTiming t;
+    t.complete = complete;
+    // Zero-contention duration of the same stream: pipeline fill of
+    // all but the last chunk, plus the last chunk's full latency.
+    t.unloaded = (issue - start) + unloaded_last;
+    return t;
+}
+
+void
+Ce::globalAccess(sim::Addr addr, unsigned words, os::UserAct act,
+                 sim::Cont k)
+{
+    assert(words > 0);
+    const sim::Tick start = eq_.now();
+    const auto t = reserveBurst(addr, words);
+
+    const sim::Tick duration = t.complete - start;
+    if (duration > t.unloaded)
+        queueingStall_ += duration - t.unloaded;
+
+    acct_.addUser(id_, act, duration);
+    finishOp(t.complete, std::move(k));
+}
+
+void
+Ce::computeWithPrefetch(sim::Tick n, sim::Addr addr, unsigned words,
+                        os::UserAct act, sim::Cont k)
+{
+    if (words == 0) {
+        compute(n, act, std::move(k));
+        return;
+    }
+    const sim::Tick start = eq_.now();
+    const auto t = reserveBurst(addr, words);
+
+    // The stream runs under the computation; the CE only stalls for
+    // whatever the prefetch could not hide.
+    const sim::Tick complete = std::max(start + n, t.complete);
+    const sim::Tick duration = complete - start;
+    const sim::Tick hidden_min = std::max(n, t.unloaded);
+    if (duration > hidden_min)
+        queueingStall_ += duration - hidden_min;
+
+    acct_.addUser(id_, act, duration);
+    finishOp(complete, std::move(k));
+}
+
+void
+Ce::globalRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
+              const ValCont &k)
+{
+    const sim::Tick start = eq_.now();
+    const auto res = net_.rmw(start, cluster_, local_, addr, f);
+
+    globalWords_ += 1;
+    ++globalAccesses_;
+    const sim::Tick duration = res.complete - start;
+    if (duration > res.unloaded)
+        queueingStall_ += duration - res.unloaded;
+
+    acct_.addUser(id_, act, duration);
+    const std::uint64_t old = res.oldValue;
+    finishOp(res.complete, [k, old] { k(old); });
+}
+
+void
+Ce::osCompute(sim::Tick n, os::TimeCat cat, os::OsAct act, sim::Cont k)
+{
+    acct_.addOs(id_, cat, act, n);
+    finishOp(eq_.now() + n, std::move(k));
+}
+
+void
+Ce::occupyUntil(sim::Tick t, sim::Cont k)
+{
+    assert(t >= eq_.now());
+    finishOp(t, std::move(k));
+}
+
+void
+Ce::beginWait(bool passive)
+{
+    assert(!busy_ && !waiting_);
+    waiting_ = true;
+    passiveWait_ = passive;
+    waitStart_ = eq_.now();
+    waitOverlap_ = 0;
+}
+
+sim::Tick
+Ce::endWait()
+{
+    assert(waiting_);
+    waiting_ = false;
+    passiveWait_ = false;
+    const sim::Tick wall = eq_.now() - waitStart_;
+    return wall > waitOverlap_ ? wall - waitOverlap_ : 0;
+}
+
+sim::Tick
+Ce::endWaitUser(os::UserAct act)
+{
+    const sim::Tick waited = endWait();
+    if (waited > 0)
+        acct_.addUser(id_, act, waited);
+    return waited;
+}
+
+sim::Tick
+Ce::endWaitKernelSpin()
+{
+    const sim::Tick waited = endWait();
+    if (waited > 0)
+        acct_.addKernelSpin(id_, waited);
+    return waited;
+}
+
+void
+Ce::chargeInterrupt(sim::Tick n, os::TimeCat cat, os::OsAct act)
+{
+    acct_.addOs(id_, cat, act, n);
+    // The hpm sees the asynchronous charge so trace analysis can
+    // subtract it from whatever user interval it elongates.
+    trace_.post(eq_.now(), id_, hpm::EventId::os_overlay,
+                static_cast<std::uint32_t>(n));
+    if (waiting_) {
+        waitOverlap_ += n;
+    } else {
+        // Busy: elongate the current primitive. Between primitives
+        // or idle: pend the charge so the next primitive absorbs it
+        // (the interrupt still consumed the CE's wall time).
+        penalty_ += n;
+    }
+}
+
+void
+Ce::chargeKernelSpin(sim::Tick n)
+{
+    acct_.addKernelSpin(id_, n);
+    trace_.post(eq_.now(), id_, hpm::EventId::os_overlay,
+                static_cast<std::uint32_t>(n));
+    if (waiting_) {
+        waitOverlap_ += n;
+    } else {
+        penalty_ += n;
+    }
+}
+
+} // namespace cedar::hw

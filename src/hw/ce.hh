@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Computational element (CE) model.
+ *
+ * A CE executes a continuation-passing program: each primitive
+ * (compute burst, global-memory access, atomic RMW, kernel work)
+ * accounts its duration, occupies the CE, and invokes the supplied
+ * continuation through the event queue when it completes. A CE has
+ * at most one outstanding primitive; program order is the chain of
+ * continuations.
+ *
+ * Interrupt overlay: the OS can charge interrupt/system time onto a
+ * CE at any moment (cross-processor interrupts, context switches).
+ * If the CE is busy, the charge elongates the current primitive; if
+ * it is spin-waiting, the charge overlaps the wait (and is deducted
+ * from the wait's accounting so no tick is counted twice); if it is
+ * idle, the charge simply eats into idle time.
+ */
+
+#ifndef CEDAR_HW_CE_HH
+#define CEDAR_HW_CE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "hw/config.hh"
+#include "net/network.hh"
+#include "os/accounting.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cedar::hpm
+{
+class Trace;
+}
+
+namespace cedar::hw
+{
+
+/** One pipelined vector processor of a cluster. */
+class Ce
+{
+  public:
+    using RmwFn = std::function<std::uint64_t(std::uint64_t)>;
+    using ValCont = std::function<void(std::uint64_t)>;
+
+    Ce(sim::EventQueue &eq, net::Network &net, os::Accounting &acct,
+       hpm::Trace &trace, const CostModel &costs, sim::CeId id,
+       sim::ClusterId cluster, int local_index);
+
+    Ce(const Ce &) = delete;
+    Ce &operator=(const Ce &) = delete;
+
+    sim::CeId id() const { return id_; }
+    sim::ClusterId cluster() const { return cluster_; }
+    int localIndex() const { return local_; }
+    sim::Tick now() const { return eq_.now(); }
+
+    /** True when the CE is doing or awaiting work (statfx sense). */
+    bool active() const { return busy_ || (waiting_ && !passiveWait_); }
+
+    /** Mark the CE detached/idle (counts as inactive for statfx). */
+    void markIdle();
+
+    // ----- program-order primitives -----
+
+    /** Execute @p n cycles of user computation. */
+    void compute(sim::Tick n, os::UserAct act, sim::Cont k);
+
+    /**
+     * Stream @p words consecutive double-words to/from global
+     * memory starting at @p addr (reads and writes time alike).
+     * The CE stalls until the last response returns; the stall is
+     * user time in @p act, as on the real machine.
+     */
+    void globalAccess(sim::Addr addr, unsigned words, os::UserAct act,
+                      sim::Cont k);
+
+    /**
+     * Vector-prefetched execution: stream @p words from @p addr
+     * while computing @p n cycles; the CE is busy until whichever
+     * finishes last. Hides memory latency behind computation (the
+     * prefetch mode studied for Cedar in Kuck et al.), without
+     * adding bandwidth.
+     */
+    void computeWithPrefetch(sim::Tick n, sim::Addr addr, unsigned words,
+                             os::UserAct act, sim::Cont k);
+
+    /** Atomic read-modify-write of one global word. */
+    void globalRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
+                   const ValCont &k);
+
+    /** Kernel-mode computation on this CE (system/interrupt time). */
+    void osCompute(sim::Tick n, os::TimeCat cat, os::OsAct act,
+                   sim::Cont k);
+
+    /**
+     * Occupy the CE until absolute tick @p t without accounting
+     * (the caller has already attributed the time), then continue.
+     */
+    void occupyUntil(sim::Tick t, sim::Cont k);
+
+    // ----- wait protocol (spins / barriers / bus syncs) -----
+
+    /**
+     * Begin an accounted wait. A software spin (helper wait, loop
+     * barrier) keeps the CE active in the statfx sense — it is
+     * executing a poll loop. A @p passive wait (concurrency-bus
+     * hardware sync) does not.
+     */
+    void beginWait(bool passive = false);
+
+    /**
+     * End the wait started by beginWait().
+     *
+     * @return wall duration minus any interrupt time charged onto
+     *         this CE during the wait (so the caller's accounting
+     *         plus the interrupt accounting conserves time).
+     */
+    sim::Tick endWait();
+
+    /** End the wait and account it as user time in @p act. */
+    sim::Tick endWaitUser(os::UserAct act);
+
+    /** End the wait and account it as kernel-lock spin time. */
+    sim::Tick endWaitKernelSpin();
+
+    bool waiting() const { return waiting_; }
+
+    // ----- interrupt overlay -----
+
+    /** Charge @p n ticks of OS time onto this CE right now. */
+    void chargeInterrupt(sim::Tick n, os::TimeCat cat, os::OsAct act);
+
+    /** Charge @p n ticks of kernel-lock spin onto this CE now. */
+    void chargeKernelSpin(sim::Tick n);
+
+    // ----- observed traffic statistics -----
+
+    /** Double-words moved through the global network by this CE. */
+    std::uint64_t globalWords() const { return globalWords_; }
+
+    /** Global accesses issued (bursts + RMWs). */
+    std::uint64_t globalAccesses() const { return globalAccesses_; }
+
+    /**
+     * Stall ticks beyond the zero-contention latency of this CE's
+     * own accesses: the ground-truth queueing its traffic saw.
+     */
+    sim::Tick queueingStall() const { return queueingStall_; }
+
+    hpm::Trace &trace() { return trace_; }
+
+  private:
+    struct BurstTiming
+    {
+        sim::Tick complete;
+        sim::Tick unloaded;
+    };
+
+    /** Reserve a pipelined chunk stream through the network. */
+    BurstTiming reserveBurst(sim::Addr addr, unsigned words);
+
+    void finishOp(sim::Tick completion, sim::Cont k);
+    void opDone(sim::Cont k);
+
+    sim::EventQueue &eq_;
+    net::Network &net_;
+    os::Accounting &acct_;
+    hpm::Trace &trace_;
+    const CostModel &costs_;
+
+    sim::CeId id_;
+    sim::ClusterId cluster_;
+    int local_;
+
+    bool busy_ = false;
+    bool waiting_ = false;
+    bool passiveWait_ = false;
+    sim::Tick penalty_ = 0;     //!< interrupt time to append to the op
+    sim::Tick waitStart_ = 0;
+    sim::Tick waitOverlap_ = 0; //!< interrupt time overlapped by a wait
+
+    std::uint64_t globalWords_ = 0;
+    std::uint64_t globalAccesses_ = 0;
+    sim::Tick queueingStall_ = 0;
+};
+
+} // namespace cedar::hw
+
+#endif // CEDAR_HW_CE_HH

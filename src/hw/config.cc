@@ -1,0 +1,47 @@
+#include "hw/config.hh"
+
+#include <stdexcept>
+
+namespace cedar::hw
+{
+
+CedarConfig
+CedarConfig::withProcs(unsigned nprocs)
+{
+    CedarConfig cfg;
+    switch (nprocs) {
+      case 1:
+        cfg.nClusters = 1;
+        cfg.cesPerCluster = 1;
+        break;
+      case 4:
+        // All 4 processors from the same cluster (paper footnote).
+        cfg.nClusters = 1;
+        cfg.cesPerCluster = 4;
+        break;
+      case 8:
+        cfg.nClusters = 1;
+        cfg.cesPerCluster = 8;
+        break;
+      case 16:
+        cfg.nClusters = 2;
+        cfg.cesPerCluster = 8;
+        break;
+      case 32:
+        cfg.nClusters = 4;
+        cfg.cesPerCluster = 8;
+        break;
+      default:
+        throw std::invalid_argument(
+            "CedarConfig::withProcs: supported sizes are 1/4/8/16/32");
+    }
+    return cfg;
+}
+
+std::string
+CedarConfig::label() const
+{
+    return std::to_string(numCes()) + " proc";
+}
+
+} // namespace cedar::hw

@@ -1,0 +1,55 @@
+#include "hw/machine.hh"
+
+#include <cassert>
+
+#include "os/xylem.hh"
+
+namespace cedar::hw
+{
+
+Machine::Machine(const CedarConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      gmem_(mem::AddressMap(cfg.nModules, cfg.groupSize)),
+      net_(cfg.nClusters, cfg.cesPerCluster, gmem_),
+      acct_(cfg.nClusters, cfg.cesPerCluster),
+      statfx_(eq_, cfg.nClusters,
+              [this](sim::ClusterId c) { return cluster(c).activeCount(); },
+              cfg.costs.statfx_period)
+{
+    for (unsigned c = 0; c < cfg.nClusters; ++c) {
+        clusters_.push_back(std::make_unique<Cluster>(
+            eq_, net_, acct_, trace_, cfg_.costs,
+            static_cast<sim::ClusterId>(c), cfg.cesPerCluster));
+    }
+    xylem_ = std::make_unique<os::Xylem>(*this);
+}
+
+Machine::~Machine() = default;
+
+Ce &
+Machine::ce(sim::CeId id)
+{
+    const auto per = static_cast<int>(cfg_.cesPerCluster);
+    return cluster(id / per).ce(id % per);
+}
+
+sim::Addr
+Machine::allocGlobal(unsigned words)
+{
+    const sim::Addr align = cfg_.groupSize;
+    nextAddr_ = (nextAddr_ + align - 1) / align * align;
+    const sim::Addr base = nextAddr_;
+    nextAddr_ += words;
+    return base;
+}
+
+sim::Addr
+Machine::allocSyncWord()
+{
+    // Sync words live in a region far above data; stride one word
+    // so consecutive cells land on consecutive (distinct) modules.
+    constexpr sim::Addr sync_base = sim::Addr(1) << 40;
+    return sync_base + nextSync_++;
+}
+
+} // namespace cedar::hw

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The assembled Cedar machine: event queue, global memory, network,
+ * clusters of CEs, the Xylem OS model, and the measurement
+ * facilities (cedarhpm trace + statfx).
+ */
+
+#ifndef CEDAR_HW_MACHINE_HH
+#define CEDAR_HW_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "hpm/statfx.hh"
+#include "hpm/trace.hh"
+#include "hw/cluster.hh"
+#include "hw/config.hh"
+#include "mem/global_memory.hh"
+#include "net/network.hh"
+#include "os/accounting.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace cedar::os
+{
+class Xylem;
+}
+
+namespace cedar::hw
+{
+
+/** A complete simulated Cedar configuration. */
+class Machine
+{
+  public:
+    explicit Machine(const CedarConfig &cfg);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const CedarConfig &config() const { return cfg_; }
+    const CostModel &costs() const { return cfg_.costs; }
+
+    sim::EventQueue &eq() { return eq_; }
+    sim::RandomGen &rng() { return rng_; }
+    mem::GlobalMemory &gmem() { return gmem_; }
+    net::Network &net() { return net_; }
+    os::Accounting &acct() { return acct_; }
+    hpm::Trace &trace() { return trace_; }
+    hpm::Statfx &statfx() { return statfx_; }
+    os::Xylem &xylem() { return *xylem_; }
+
+    unsigned numClusters() const { return cfg_.nClusters; }
+    unsigned numCes() const { return cfg_.numCes(); }
+
+    Cluster &cluster(sim::ClusterId c) { return *clusters_.at(c); }
+    Ce &ce(sim::CeId id);
+
+    sim::Tick now() const { return eq_.now(); }
+
+    /**
+     * Allocate @p words of global memory (bump allocator), aligned
+     * to the module-group size so vector chunks stay aligned.
+     */
+    sim::Addr allocGlobal(unsigned words);
+
+    /**
+     * Allocate a single synchronisation word. Consecutive
+     * allocations land on different memory modules so unrelated
+     * lock cells do not accidentally share a hot module.
+     */
+    sim::Addr allocSyncWord();
+
+  private:
+    CedarConfig cfg_;
+    sim::EventQueue eq_;
+    sim::RandomGen rng_;
+    mem::GlobalMemory gmem_;
+    net::Network net_;
+    os::Accounting acct_;
+    hpm::Trace trace_;
+    std::vector<std::unique_ptr<Cluster>> clusters_;
+    std::unique_ptr<os::Xylem> xylem_;
+    hpm::Statfx statfx_;
+    sim::Addr nextAddr_ = 0;
+    sim::Addr nextSync_ = 0;
+};
+
+} // namespace cedar::hw
+
+#endif // CEDAR_HW_MACHINE_HH

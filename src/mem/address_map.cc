@@ -1,0 +1,29 @@
+#include "mem/address_map.hh"
+
+#include <cassert>
+
+namespace cedar::mem
+{
+
+AddressMap::AddressMap(unsigned n_modules, unsigned group_size)
+    : nModules_(n_modules), groupSize_(group_size)
+{
+    assert(n_modules > 0 && group_size > 0);
+    assert(n_modules % group_size == 0);
+}
+
+std::vector<Chunk>
+AddressMap::chunkify(sim::Addr addr, unsigned len) const
+{
+    std::vector<Chunk> chunks;
+    while (len > 0) {
+        const unsigned off = addr % groupSize_;
+        const unsigned take = std::min(len, groupSize_ - off);
+        chunks.push_back(Chunk{addr, take});
+        addr += take;
+        len -= take;
+    }
+    return chunks;
+}
+
+} // namespace cedar::mem

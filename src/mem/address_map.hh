@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cedar global-memory address interleaving.
+ *
+ * The Cedar global memory is double-word interleaved and aligned
+ * across 32 independent modules; consecutive double-words live on
+ * consecutive modules. Each stage-2 network switch fronts a group of
+ * 4 consecutive modules, so the stage-2 switch (and hence the
+ * stage-1 output port) for an address is determined by
+ * (addr % 32) / 4.
+ */
+
+#ifndef CEDAR_MEM_ADDRESS_MAP_HH
+#define CEDAR_MEM_ADDRESS_MAP_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cedar::mem
+{
+
+/** One network-level transfer unit: <= group_size consecutive
+ *  double-words that all route through a single stage-2 switch. */
+struct Chunk
+{
+    sim::Addr addr;
+    unsigned len;
+};
+
+/** Interleaving geometry of the global memory system. */
+class AddressMap
+{
+  public:
+    /**
+     * @param n_modules number of memory modules (Cedar: 32).
+     * @param group_size modules per stage-2 switch (Cedar: 4).
+     */
+    explicit AddressMap(unsigned n_modules = 32, unsigned group_size = 4);
+
+    unsigned numModules() const { return nModules_; }
+    unsigned groupSize() const { return groupSize_; }
+    unsigned numGroups() const { return nModules_ / groupSize_; }
+
+    /** Module holding double-word @p addr. */
+    unsigned module(sim::Addr addr) const { return addr % nModules_; }
+
+    /** Module group (== stage-2 switch index) for @p addr. */
+    unsigned group(sim::Addr addr) const { return module(addr) / groupSize_; }
+
+    /**
+     * Split [addr, addr+len) into chunks that each stay within one
+     * module group. Chunk boundaries fall on group_size-aligned
+     * addresses, mirroring how a pipelined vector stream sweeps the
+     * interleaved modules.
+     */
+    std::vector<Chunk> chunkify(sim::Addr addr, unsigned len) const;
+
+  private:
+    unsigned nModules_;
+    unsigned groupSize_;
+};
+
+} // namespace cedar::mem
+
+#endif // CEDAR_MEM_ADDRESS_MAP_HH

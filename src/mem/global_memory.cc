@@ -1,0 +1,80 @@
+#include "mem/global_memory.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cedar::mem
+{
+
+MemAccessResult
+GlobalMemory::accessChunk(sim::Tick arrival, const Chunk &chunk)
+{
+    assert(chunk.len > 0);
+    MemAccessResult res{0, 0};
+    for (unsigned i = 0; i < chunk.len; ++i) {
+        const unsigned m = map_.module(chunk.addr + i);
+        sim::FifoServer &srv = modules_[m];
+        const sim::Tick before = srv.freeAt();
+        const sim::Tick done = srv.serve(arrival, word_service);
+        res.complete = std::max(res.complete, done);
+        if (before > arrival)
+            res.wait += before - arrival;
+    }
+    return res;
+}
+
+MemAccessResult
+GlobalMemory::rmw(sim::Tick arrival, sim::Addr addr,
+                  const std::function<std::uint64_t(std::uint64_t)> &f,
+                  std::uint64_t *old_out)
+{
+    const unsigned m = map_.module(addr);
+    sim::FifoServer &srv = modules_[m];
+    const sim::Tick before = srv.freeAt();
+    const sim::Tick done = srv.serve(arrival, rmw_service);
+
+    std::uint64_t &cell = words_[addr];
+    if (old_out)
+        *old_out = cell;
+    cell = f(cell);
+
+    MemAccessResult res;
+    res.complete = done;
+    res.wait = before > arrival ? before - arrival : 0;
+    return res;
+}
+
+std::uint64_t
+GlobalMemory::peek(sim::Addr addr) const
+{
+    auto it = words_.find(addr);
+    return it == words_.end() ? 0 : it->second;
+}
+
+sim::Tick
+GlobalMemory::totalWaitTicks() const
+{
+    sim::Tick total = 0;
+    for (const auto &m : modules_)
+        total += m.stats().waitTicks();
+    return total;
+}
+
+sim::Tick
+GlobalMemory::totalBusyTicks() const
+{
+    sim::Tick total = 0;
+    for (const auto &m : modules_)
+        total += m.stats().busyTicks();
+    return total;
+}
+
+void
+GlobalMemory::reset()
+{
+    for (auto &m : modules_)
+        m.reset();
+    words_.clear();
+}
+
+} // namespace cedar::mem

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The Cedar shared global memory: interleaved independent modules,
+ * each a FIFO server taking 4 processor cycles per double-word
+ * request (8 for an atomic read-modify-write such as test&set).
+ *
+ * The memory also keeps the *values* of synchronisation words (lock
+ * cells, iteration indices, barrier counters) so the runtime
+ * library's atomics are serialised exactly in module service order.
+ */
+
+#ifndef CEDAR_MEM_GLOBAL_MEMORY_HH
+#define CEDAR_MEM_GLOBAL_MEMORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "sim/fifo_server.hh"
+#include "sim/types.hh"
+
+namespace cedar::mem
+{
+
+/** Timing/occupancy result of a memory-side chunk access. */
+struct MemAccessResult
+{
+    sim::Tick complete; //!< when the last touched module finished
+    sim::Tick wait;     //!< total queueing ticks across modules
+};
+
+/**
+ * The global memory: AddressMap geometry plus one FifoServer per
+ * module and a sparse value store for synchronisation words.
+ */
+class GlobalMemory
+{
+  public:
+    /** Service time per double-word request, in cycles (paper: 4). */
+    static constexpr sim::Tick word_service = 4;
+    /** Service time for an atomic read-modify-write. */
+    static constexpr sim::Tick rmw_service = 8;
+
+    explicit GlobalMemory(const AddressMap &map) : map_(map)
+    {
+        modules_.resize(map.numModules());
+    }
+
+    const AddressMap &map() const { return map_; }
+
+    /**
+     * Access a chunk (all words within one module group): each
+     * touched module serves one word.
+     */
+    MemAccessResult accessChunk(sim::Tick arrival, const Chunk &chunk);
+
+    /**
+     * Atomically apply @p f to the word at @p addr, serialised in
+     * module order.
+     *
+     * @return access timing plus the *previous* value of the word.
+     */
+    MemAccessResult
+    rmw(sim::Tick arrival, sim::Addr addr,
+        const std::function<std::uint64_t(std::uint64_t)> &f,
+        std::uint64_t *old_out = nullptr);
+
+    /** Non-atomic read of a word's current value (timing separate). */
+    std::uint64_t peek(sim::Addr addr) const;
+
+    /** Non-timed store, for initialisation. */
+    void poke(sim::Addr addr, std::uint64_t value) { words_[addr] = value; }
+
+    /** Per-module queueing statistics. */
+    const sim::FifoServer &moduleServer(unsigned m) const
+    {
+        return modules_[m];
+    }
+
+    /** Sum of queueing wait across all modules. */
+    sim::Tick totalWaitTicks() const;
+
+    /** Sum of busy (service) ticks across all modules. */
+    sim::Tick totalBusyTicks() const;
+
+    void reset();
+
+  private:
+    AddressMap map_;
+    std::vector<sim::FifoServer> modules_;
+    std::unordered_map<sim::Addr, std::uint64_t> words_;
+};
+
+} // namespace cedar::mem
+
+#endif // CEDAR_MEM_GLOBAL_MEMORY_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Crossbar switch model.
+ *
+ * An NxM crossbar is conflict-free internally; contention happens at
+ * ports. We model each port as a FIFO server moving one double-word
+ * per cycle, which is what produces queueing when several streams
+ * route through the same port.
+ */
+
+#ifndef CEDAR_NET_CROSSBAR_HH
+#define CEDAR_NET_CROSSBAR_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/fifo_server.hh"
+#include "sim/types.hh"
+
+namespace cedar::net
+{
+
+/** A bank of FIFO-server ports making up one crossbar side. */
+class Crossbar
+{
+  public:
+    Crossbar(std::string name, unsigned n_ports)
+        : name_(std::move(name)), ports_(n_ports)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    unsigned numPorts() const { return static_cast<unsigned>(ports_.size()); }
+
+    sim::FifoServer &port(unsigned i) { return ports_.at(i); }
+    const sim::FifoServer &port(unsigned i) const { return ports_.at(i); }
+
+    /** Sum of queueing wait across all ports. */
+    sim::Tick
+    totalWaitTicks() const
+    {
+        sim::Tick t = 0;
+        for (const auto &p : ports_)
+            t += p.stats().waitTicks();
+        return t;
+    }
+
+    /** Sum of busy ticks across all ports. */
+    sim::Tick
+    totalBusyTicks() const
+    {
+        sim::Tick t = 0;
+        for (const auto &p : ports_)
+            t += p.stats().busyTicks();
+        return t;
+    }
+
+    void
+    reset()
+    {
+        for (auto &p : ports_)
+            p.reset();
+    }
+
+  private:
+    std::string name_;
+    std::vector<sim::FifoServer> ports_;
+};
+
+} // namespace cedar::net
+
+#endif // CEDAR_NET_CROSSBAR_HH

@@ -1,0 +1,195 @@
+#include "net/network.hh"
+
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+
+namespace cedar::net
+{
+
+Network::Network(unsigned n_clusters, unsigned ces_per_cluster,
+                 mem::GlobalMemory &gmem)
+    : nClusters_(n_clusters), cesPerCluster_(ces_per_cluster), gmem_(gmem)
+{
+    const unsigned groups = gmem.map().numGroups();
+    for (unsigned c = 0; c < n_clusters; ++c) {
+        stage1_.emplace_back("stage1.cluster" + std::to_string(c), groups);
+        returnB_.emplace_back("returnB.cluster" + std::to_string(c),
+                              ces_per_cluster);
+    }
+    for (unsigned g = 0; g < groups; ++g) {
+        stage2In_.emplace_back("stage2.group" + std::to_string(g),
+                               n_clusters);
+        returnA_.emplace_back("returnA.group" + std::to_string(g),
+                              n_clusters);
+    }
+}
+
+sim::Tick
+Network::forwardPath(sim::Tick when, sim::ClusterId cluster, unsigned group,
+                     unsigned len)
+{
+    const sim::Tick t1 =
+        stage1_[cluster].port(group).serve(when + hop_latency, len);
+    return stage2In_[group].port(cluster).serve(t1 + hop_latency, len);
+}
+
+sim::Tick
+Network::returnPath(sim::Tick when, sim::ClusterId cluster, int ce_port,
+                    unsigned group, unsigned len)
+{
+    const sim::Tick t3 =
+        returnA_[group].port(cluster).serve(when + hop_latency, len);
+    const sim::Tick t4 =
+        returnB_[cluster].port(ce_port).serve(t3 + hop_latency, len);
+    return t4 + hop_latency;
+}
+
+XferResult
+Network::chunkAccess(sim::Tick when, sim::ClusterId cluster, int ce_port,
+                     const mem::Chunk &chunk)
+{
+    assert(cluster >= 0 && static_cast<unsigned>(cluster) < nClusters_);
+    assert(chunk.len >= 1 && chunk.len <= gmem_.map().groupSize());
+
+    const unsigned group = gmem_.map().group(chunk.addr);
+    const sim::Tick t2 = forwardPath(when, cluster, group, chunk.len);
+    const auto mem = gmem_.accessChunk(t2 + hop_latency, chunk);
+
+    XferResult res;
+    res.complete = returnPath(mem.complete, cluster, ce_port, group,
+                              chunk.len);
+    res.unloaded = unloadedLatency(chunk.len, false);
+    return res;
+}
+
+XferResult
+Network::rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
+             sim::Addr addr,
+             const std::function<std::uint64_t(std::uint64_t)> &f)
+{
+    assert(cluster >= 0 && static_cast<unsigned>(cluster) < nClusters_);
+
+    const unsigned group = gmem_.map().group(addr);
+    const sim::Tick t2 = forwardPath(when, cluster, group, 1);
+
+    std::uint64_t old = 0;
+    const auto mem = gmem_.rmw(t2 + hop_latency, addr, f, &old);
+
+    XferResult res;
+    res.complete = returnPath(mem.complete, cluster, ce_port, group, 1);
+    res.unloaded = unloadedLatency(1, true);
+    res.oldValue = old;
+    return res;
+}
+
+sim::Tick
+Network::unloadedLatency(unsigned len, bool is_rmw) const
+{
+    // Six hop traversals (CE->s1, s1->s2, s2->mem, mem->rA, rA->rB,
+    // rB->CE), one port service per switch stage in each direction,
+    // and the module service time.
+    const sim::Tick mem_service = is_rmw ? mem::GlobalMemory::rmw_service
+                                         : mem::GlobalMemory::word_service;
+    return 6 * hop_latency + 4 * static_cast<sim::Tick>(len) + mem_service;
+}
+
+sim::Tick
+Network::switchWaitTicks() const
+{
+    sim::Tick t = 0;
+    for (const auto &x : stage1_)
+        t += x.totalWaitTicks();
+    for (const auto &x : stage2In_)
+        t += x.totalWaitTicks();
+    for (const auto &x : returnA_)
+        t += x.totalWaitTicks();
+    for (const auto &x : returnB_)
+        t += x.totalWaitTicks();
+    return t;
+}
+
+sim::Tick
+Network::totalWaitTicks() const
+{
+    return switchWaitTicks() + gmem_.totalWaitTicks();
+}
+
+namespace
+{
+
+void
+reportBank(std::ostream &os, const std::string &label,
+           const Crossbar &xb, sim::Tick elapsed)
+{
+    std::uint64_t requests = 0;
+    for (unsigned p = 0; p < xb.numPorts(); ++p)
+        requests += xb.port(p).stats().requests();
+    const double busy =
+        elapsed ? 100.0 * static_cast<double>(xb.totalBusyTicks()) /
+                      (static_cast<double>(elapsed) * xb.numPorts())
+                : 0.0;
+    const double wait =
+        requests ? static_cast<double>(xb.totalWaitTicks()) /
+                       static_cast<double>(requests)
+                 : 0.0;
+    os << "  " << std::left << std::setw(18) << label << std::right
+       << std::setw(10) << requests << " req " << std::setw(6)
+       << std::fixed << std::setprecision(1) << busy << "% busy "
+       << std::setw(7) << std::setprecision(1) << wait
+       << " mean wait\n";
+}
+
+} // namespace
+
+void
+Network::report(std::ostream &os, sim::Tick elapsed) const
+{
+    os << "network utilisation over " << elapsed << " cycles:\n";
+    for (unsigned c = 0; c < nClusters_; ++c)
+        reportBank(os, stage1_[c].name(), stage1_[c], elapsed);
+    for (unsigned g = 0; g < stage2In_.size(); ++g)
+        reportBank(os, stage2In_[g].name(), stage2In_[g], elapsed);
+
+    // Memory modules, grouped per stage-2 switch.
+    const unsigned group_size = gmem_.map().groupSize();
+    for (unsigned g = 0; g < gmem_.map().numGroups(); ++g) {
+        std::uint64_t requests = 0;
+        sim::Tick busy = 0, wait = 0;
+        for (unsigned m = 0; m < group_size; ++m) {
+            const auto &st =
+                gmem_.moduleServer(g * group_size + m).stats();
+            requests += st.requests();
+            busy += st.busyTicks();
+            wait += st.waitTicks();
+        }
+        const double busy_pct =
+            elapsed ? 100.0 * static_cast<double>(busy) /
+                          (static_cast<double>(elapsed) * group_size)
+                    : 0.0;
+        const double mean_wait =
+            requests ? static_cast<double>(wait) /
+                           static_cast<double>(requests)
+                     : 0.0;
+        os << "  modules.group" << g << "    " << std::right
+           << std::setw(10) << requests << " req " << std::setw(6)
+           << std::fixed << std::setprecision(1) << busy_pct
+           << "% busy " << std::setw(7) << std::setprecision(1)
+           << mean_wait << " mean wait\n";
+    }
+}
+
+void
+Network::reset()
+{
+    for (auto &x : stage1_)
+        x.reset();
+    for (auto &x : stage2In_)
+        x.reset();
+    for (auto &x : returnA_)
+        x.reset();
+    for (auto &x : returnB_)
+        x.reset();
+}
+
+} // namespace cedar::net

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Cedar two-stage shuffle-exchange interconnection network.
+ *
+ * Forward path (CE -> global memory): each cluster owns a stage-1
+ * 8x8 crossbar whose 8 output ports each feed one of the 8 stage-2
+ * switches; each stage-2 switch has one input port per cluster and
+ * fronts a group of 4 consecutive memory modules. The return path
+ * (memory -> CE) mirrors it with its own switches, as on Cedar where
+ * the two directions are separate networks.
+ *
+ * All timing is reservation based: a transfer reserves its whole
+ * path at issue time, and contention (queueing at ports and modules)
+ * falls out of overlapping reservations.
+ */
+
+#ifndef CEDAR_NET_NETWORK_HH
+#define CEDAR_NET_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "mem/global_memory.hh"
+#include "net/crossbar.hh"
+#include "sim/types.hh"
+
+namespace cedar::net
+{
+
+/** Outcome of one network transaction. */
+struct XferResult
+{
+    sim::Tick complete; //!< tick at which the response reaches the CE
+    sim::Tick unloaded; //!< zero-contention latency of the same path
+    std::uint64_t oldValue = 0; //!< previous word value (RMW only)
+
+    /** Queueing delay experienced relative to an idle machine. */
+    sim::Tick
+    queueing(sim::Tick issued) const
+    {
+        const sim::Tick total = complete - issued;
+        return total > unloaded ? total - unloaded : 0;
+    }
+};
+
+/**
+ * The network plus the memory behind it; the single entry point the
+ * CE's global interface uses for all global-memory traffic.
+ */
+class Network
+{
+  public:
+    /** Per-stage wire/setup latency in cycles. */
+    static constexpr sim::Tick hop_latency = 2;
+
+    Network(unsigned n_clusters, unsigned ces_per_cluster,
+            mem::GlobalMemory &gmem);
+
+    unsigned numClusters() const { return nClusters_; }
+
+    /** Interleaving geometry of the memory behind the network. */
+    const mem::AddressMap &gmemMap() const { return gmem_.map(); }
+
+    /**
+     * Transfer one chunk (<= one module-group span) between a CE and
+     * the global memory. Reads and writes share path timing.
+     */
+    XferResult chunkAccess(sim::Tick when, sim::ClusterId cluster,
+                           int ce_port, const mem::Chunk &chunk);
+
+    /**
+     * Atomic read-modify-write of one global word (test&set,
+     * fetch&add). Serialised at the memory module.
+     */
+    XferResult rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
+                   sim::Addr addr,
+                   const std::function<std::uint64_t(std::uint64_t)> &f);
+
+    /** Zero-contention latency of a chunk of @p len words. */
+    sim::Tick unloadedLatency(unsigned len, bool is_rmw = false) const;
+
+    /** Queueing wait accumulated in switches (not memory modules). */
+    sim::Tick switchWaitTicks() const;
+
+    /** Queueing wait accumulated in switches and memory modules. */
+    sim::Tick totalWaitTicks() const;
+
+    const Crossbar &stage1(sim::ClusterId c) const { return stage1_.at(c); }
+    const Crossbar &stage2(unsigned g) const { return stage2In_.at(g); }
+
+    /**
+     * Human-readable utilisation report of every switch stage and
+     * the memory modules over the first @p elapsed ticks: request
+     * counts, busy fractions and mean queueing waits. The tool for
+     * finding *where* contention concentrated.
+     */
+    void report(std::ostream &os, sim::Tick elapsed) const;
+
+    void reset();
+
+  private:
+    unsigned nClusters_;
+    unsigned cesPerCluster_;
+    mem::GlobalMemory &gmem_;
+
+    /** Per cluster: output ports, one per stage-2 switch. */
+    std::vector<Crossbar> stage1_;
+    /** Per module group: input ports, one per cluster. */
+    std::vector<Crossbar> stage2In_;
+    /** Return path, stage A: per group, output ports per cluster. */
+    std::vector<Crossbar> returnA_;
+    /** Return path, stage B: per cluster, output ports per CE. */
+    std::vector<Crossbar> returnB_;
+
+    sim::Tick forwardPath(sim::Tick when, sim::ClusterId cluster,
+                          unsigned group, unsigned len);
+    sim::Tick returnPath(sim::Tick when, sim::ClusterId cluster,
+                         int ce_port, unsigned group, unsigned len);
+};
+
+} // namespace cedar::net
+
+#endif // CEDAR_NET_NETWORK_HH

@@ -1,0 +1,152 @@
+#include "os/accounting.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace cedar::os
+{
+
+const char *
+toString(TimeCat c)
+{
+    switch (c) {
+      case TimeCat::user: return "user";
+      case TimeCat::system: return "system";
+      case TimeCat::interrupt: return "interrupt";
+      case TimeCat::kspin: return "kspin";
+      case TimeCat::idle: return "idle";
+      default: return "?";
+    }
+}
+
+const char *
+toString(OsAct a)
+{
+    switch (a) {
+      case OsAct::cpi: return "cpi";
+      case OsAct::ctx: return "ctx";
+      case OsAct::pgflt_conc: return "pg flt (c)";
+      case OsAct::pgflt_seq: return "pg flt (s)";
+      case OsAct::crit_clus: return "Cr Sect (clus)";
+      case OsAct::crit_glbl: return "Cr Sect (glbl)";
+      case OsAct::syscall_clus: return "clus syscall";
+      case OsAct::syscall_glbl: return "glbl syscall";
+      case OsAct::ast: return "ast";
+      case OsAct::other: return "other";
+      default: return "?";
+    }
+}
+
+const char *
+toString(UserAct a)
+{
+    switch (a) {
+      case UserAct::serial: return "serial";
+      case UserAct::mc_loop: return "mc loop";
+      case UserAct::iter_exec: return "iter exec";
+      case UserAct::loop_setup: return "loop setup";
+      case UserAct::iter_pickup: return "iter pickup";
+      case UserAct::barrier_wait: return "barrier wait";
+      case UserAct::helper_wait: return "helper wait";
+      default: return "?";
+    }
+}
+
+sim::Tick
+CeAccount::busyTicks() const
+{
+    sim::Tick t = 0;
+    for (std::size_t i = 0; i < cat.size(); ++i) {
+        if (static_cast<TimeCat>(i) != TimeCat::idle)
+            t += cat[i];
+    }
+    return t;
+}
+
+Accounting::Accounting(unsigned n_clusters, unsigned ces_per_cluster)
+    : nClusters_(n_clusters), cesPerCluster_(ces_per_cluster),
+      ces_(n_clusters * ces_per_cluster)
+{
+}
+
+void
+Accounting::addUser(sim::CeId ce, UserAct act, sim::Tick t)
+{
+    if (finalized_) return;  // post-completion stragglers are dropped
+    auto &acct = ces_.at(ce);
+    acct.cat[static_cast<std::size_t>(TimeCat::user)] += t;
+    acct.userAct[static_cast<std::size_t>(act)] += t;
+}
+
+void
+Accounting::addOs(sim::CeId ce, TimeCat cat, OsAct act, sim::Tick t)
+{
+    if (finalized_) return;  // post-completion stragglers are dropped
+    if (cat != TimeCat::system && cat != TimeCat::interrupt)
+        throw std::logic_error("addOs: category must be system/interrupt");
+    auto &acct = ces_.at(ce);
+    acct.cat[static_cast<std::size_t>(cat)] += t;
+    acct.osAct[static_cast<std::size_t>(act)] += t;
+}
+
+void
+Accounting::addKernelSpin(sim::CeId ce, sim::Tick t)
+{
+    if (finalized_) return;  // post-completion stragglers are dropped
+    ces_.at(ce).cat[static_cast<std::size_t>(TimeCat::kspin)] += t;
+}
+
+void
+Accounting::finalize(sim::Tick ct)
+{
+    if (finalized_) return;  // post-completion stragglers are dropped
+    ct_ = ct;
+    for (auto &acct : ces_) {
+        const sim::Tick busy = acct.busyTicks();
+        // A CE can legitimately be a hair over the completion time:
+        // an op in flight when the main task finished was accounted
+        // at issue, and late interrupt charges pend until the next
+        // op. The overshoot is recorded so tests can bound it.
+        if (busy > ct) {
+            overshoot_ = std::max(overshoot_, busy - ct);
+            acct.cat[static_cast<std::size_t>(TimeCat::idle)] = 0;
+        } else {
+            acct.cat[static_cast<std::size_t>(TimeCat::idle)] = ct - busy;
+        }
+    }
+    finalized_ = true;
+}
+
+CeAccount
+Accounting::cluster(sim::ClusterId c) const
+{
+    CeAccount sum;
+    for (unsigned i = 0; i < cesPerCluster_; ++i) {
+        const auto &acct = ces_.at(c * cesPerCluster_ + i);
+        for (std::size_t j = 0; j < sum.cat.size(); ++j)
+            sum.cat[j] += acct.cat[j];
+        for (std::size_t j = 0; j < sum.osAct.size(); ++j)
+            sum.osAct[j] += acct.osAct[j];
+        for (std::size_t j = 0; j < sum.userAct.size(); ++j)
+            sum.userAct[j] += acct.userAct[j];
+    }
+    return sum;
+}
+
+CeAccount
+Accounting::total() const
+{
+    CeAccount sum;
+    for (const auto &acct : ces_) {
+        for (std::size_t j = 0; j < sum.cat.size(); ++j)
+            sum.cat[j] += acct.cat[j];
+        for (std::size_t j = 0; j < sum.osAct.size(); ++j)
+            sum.osAct[j] += acct.osAct[j];
+        for (std::size_t j = 0; j < sum.userAct.size(); ++j)
+            sum.userAct[j] += acct.userAct[j];
+    }
+    return sum;
+}
+
+} // namespace cedar::os

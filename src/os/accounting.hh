@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Time accounting: the model behind the paper's "Q" utilisation
+ * facility and its two breakdown figures.
+ *
+ * Every tick of every CE is attributed to exactly one top-level
+ * category (Figure 3 of the paper): user, system, interrupt,
+ * kernel-lock spin, or idle. System/interrupt time is further
+ * attributed to an OS activity (Table 2), and user time to a
+ * runtime-library activity (Figure 4).
+ */
+
+#ifndef CEDAR_OS_ACCOUNTING_HH
+#define CEDAR_OS_ACCOUNTING_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cedar::os
+{
+
+/** Top-level completion-time categories (paper Figure 3). */
+enum class TimeCat
+{
+    user,      //!< application + runtime library work (incl. stalls)
+    system,    //!< system calls, context switches, faults, crit sects
+    interrupt, //!< software + cross-processor interrupt servicing
+    kspin,     //!< kernel lock spin (waiting on memory locks)
+    idle,      //!< CE has no work (intra-cluster idle)
+    NUM
+};
+
+/** OS activities the paper's Table 2 separates. */
+enum class OsAct
+{
+    cpi,          //!< cross-processor interrupt servicing
+    ctx,          //!< context switching
+    pgflt_conc,   //!< concurrent page faults
+    pgflt_seq,    //!< sequential page faults
+    crit_clus,    //!< cluster critical sections / resources
+    crit_glbl,    //!< global critical sections / resources
+    syscall_clus, //!< cluster system calls
+    syscall_glbl, //!< global system calls
+    ast,          //!< asynchronous system traps
+    other,        //!< residual system work
+    NUM
+};
+
+/** User-time activities the paper's Figure 4 separates. */
+enum class UserAct
+{
+    serial,       //!< serial code (main task only)
+    mc_loop,      //!< main-cluster-only loops
+    iter_exec,    //!< executing s(x)doall loop iterations
+    loop_setup,   //!< setting up parallel loop parameters
+    iter_pickup,  //!< picking up iterations / detecting none left
+    barrier_wait, //!< main task at the s(x)doall finish barrier
+    helper_wait,  //!< helper task busy-waiting for loop work
+    NUM
+};
+
+const char *toString(TimeCat c);
+const char *toString(OsAct a);
+const char *toString(UserAct a);
+
+/** Per-CE tick totals in every category. */
+struct CeAccount
+{
+    std::array<sim::Tick, static_cast<std::size_t>(TimeCat::NUM)> cat{};
+    std::array<sim::Tick, static_cast<std::size_t>(OsAct::NUM)> osAct{};
+    std::array<sim::Tick, static_cast<std::size_t>(UserAct::NUM)> userAct{};
+
+    sim::Tick inCat(TimeCat c) const
+    {
+        return cat[static_cast<std::size_t>(c)];
+    }
+    sim::Tick inOs(OsAct a) const
+    {
+        return osAct[static_cast<std::size_t>(a)];
+    }
+    sim::Tick inUser(UserAct a) const
+    {
+        return userAct[static_cast<std::size_t>(a)];
+    }
+
+    /** Sum of all non-idle top-level categories. */
+    sim::Tick busyTicks() const;
+};
+
+/**
+ * The accounting ledger for a whole machine run.
+ *
+ * Invariant (checked by tests): after finalize(), for every CE the
+ * top-level categories sum exactly to the completion time; the OS
+ * activities sum to system+interrupt time; and the user activities
+ * sum to user time.
+ */
+class Accounting
+{
+  public:
+    Accounting(unsigned n_clusters, unsigned ces_per_cluster);
+
+    unsigned numCes() const { return static_cast<unsigned>(ces_.size()); }
+    unsigned cesPerCluster() const { return cesPerCluster_; }
+    unsigned numClusters() const { return nClusters_; }
+
+    /** Charge user time in a specific RTL activity. */
+    void addUser(sim::CeId ce, UserAct act, sim::Tick t);
+
+    /** Charge system or interrupt time in a specific OS activity. */
+    void addOs(sim::CeId ce, TimeCat cat, OsAct act, sim::Tick t);
+
+    /** Charge kernel-lock spin time. */
+    void addKernelSpin(sim::CeId ce, sim::Tick t);
+
+    /**
+     * Close the ledger at completion time @p ct: every CE's
+     * remaining (unaccounted) time becomes idle.
+     */
+    void finalize(sim::Tick ct);
+
+    bool finalized() const { return finalized_; }
+    sim::Tick completionTime() const { return ct_; }
+
+    /** Largest per-CE excess of accounted time over the completion
+     *  time (ops in flight at program end); tests bound it. */
+    sim::Tick overshoot() const { return overshoot_; }
+
+    const CeAccount &ce(sim::CeId id) const { return ces_.at(id); }
+
+    /** Aggregate of all CEs in @p cluster. */
+    CeAccount cluster(sim::ClusterId c) const;
+
+    /** Aggregate over the whole machine. */
+    CeAccount total() const;
+
+  private:
+    unsigned nClusters_;
+    unsigned cesPerCluster_;
+    std::vector<CeAccount> ces_;
+    sim::Tick ct_ = 0;
+    sim::Tick overshoot_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace cedar::os
+
+#endif // CEDAR_OS_ACCOUNTING_HH

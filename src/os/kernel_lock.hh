@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Kernel memory locks protecting critical sections.
+ *
+ * Xylem protects cluster resources with cluster-memory locks and
+ * machine-wide resources with global-memory locks. A CE entering a
+ * critical section spins until the lock frees (kernel-lock spin
+ * time, the paper's "spin" category — measured to be < 1 % of
+ * completion time) and then holds the lock for the section body.
+ *
+ * The lock only *reserves* timing; the caller decides how the spin
+ * and hold are accounted (synchronously on the CE's program, or as
+ * an asynchronous overlay charge from a daemon).
+ */
+
+#ifndef CEDAR_OS_KERNEL_LOCK_HH
+#define CEDAR_OS_KERNEL_LOCK_HH
+
+#include <string>
+
+#include "sim/fifo_server.hh"
+#include "sim/types.hh"
+
+namespace cedar::os
+{
+
+/** Timing of one critical-section entry. */
+struct SectionTiming
+{
+    sim::Tick spin; //!< ticks spent spinning before lock acquisition
+    sim::Tick exit; //!< absolute tick at which the section is left
+};
+
+/** A reservation-modelled kernel spin lock. */
+class KernelLock
+{
+  public:
+    explicit KernelLock(std::string name) : name_(std::move(name)) {}
+
+    /** Reserve the section: spin until free, hold for @p hold. */
+    SectionTiming
+    reserve(sim::Tick now, sim::Tick hold)
+    {
+        const sim::Tick exit = server_.serve(now, hold);
+        return SectionTiming{exit - hold - now, exit};
+    }
+
+    const std::string &name() const { return name_; }
+    const sim::ServerStats &stats() const { return server_.stats(); }
+
+  private:
+    std::string name_;
+    sim::FifoServer server_;
+};
+
+} // namespace cedar::os
+
+#endif // CEDAR_OS_KERNEL_LOCK_HH

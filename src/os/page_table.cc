@@ -1,0 +1,52 @@
+#include "os/page_table.hh"
+
+namespace cedar::os
+{
+
+Touch
+PageTable::touch(PageId page, sim::Tick now)
+{
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+        ++seqFaults_;
+        // Window recorded as unresolved until faultWindow() is
+        // called; use max_tick so racing touches classify as
+        // concurrent.
+        pages_.emplace(page, PageState{true, sim::max_tick});
+        return Touch::fault_seq;
+    }
+    PageState &st = it->second;
+    if (st.faulting && now < st.resolveAt) {
+        ++concFaults_;
+        return Touch::fault_conc;
+    }
+    st.faulting = false;
+    return Touch::resident;
+}
+
+void
+PageTable::faultWindow(PageId page, sim::Tick resolve_at)
+{
+    auto it = pages_.find(page);
+    if (it != pages_.end())
+        it->second.resolveAt = resolve_at;
+}
+
+sim::Tick
+PageTable::resolveAt(PageId page) const
+{
+    auto it = pages_.find(page);
+    if (it == pages_.end() || !it->second.faulting)
+        return sim::max_tick;
+    return it->second.resolveAt;
+}
+
+void
+PageTable::reset()
+{
+    pages_.clear();
+    seqFaults_ = 0;
+    concFaults_ = 0;
+}
+
+} // namespace cedar::os

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Virtual-memory page state for fault classification.
+ *
+ * Xylem distinguishes *sequential* page faults (one CE touches a
+ * page not accessed before) from *concurrent* page faults (two or
+ * more CEs touch the same unmapped page while the first fault is
+ * still being serviced). Concurrent faults are more expensive and
+ * involve cross-processor interrupts.
+ */
+
+#ifndef CEDAR_OS_PAGE_TABLE_HH
+#define CEDAR_OS_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace cedar::os
+{
+
+using PageId = std::uint64_t;
+
+/** Outcome of a CE touching a page. */
+enum class Touch
+{
+    resident,   //!< page already mapped: no fault
+    fault_seq,  //!< first touch: sequential fault
+    fault_conc, //!< touched while another CE's fault is in flight
+};
+
+/** Tracks page residency and in-flight fault windows. */
+class PageTable
+{
+  public:
+    /**
+     * Classify a touch of @p page at time @p now. A fault_seq
+     * result transitions the page to "faulting"; the caller must
+     * follow up with faultWindow() once the service end is known.
+     */
+    Touch touch(PageId page, sim::Tick now);
+
+    /** Record that the in-flight fault on @p page resolves at @p t. */
+    void faultWindow(PageId page, sim::Tick resolve_at);
+
+    /** Resolve time of the in-flight fault (max_tick if none). */
+    sim::Tick resolveAt(PageId page) const;
+
+    std::uint64_t seqFaults() const { return seqFaults_; }
+    std::uint64_t concFaults() const { return concFaults_; }
+    std::uint64_t residentPages() const
+    {
+        return static_cast<std::uint64_t>(pages_.size());
+    }
+
+    void reset();
+
+  private:
+    struct PageState
+    {
+        bool faulting;
+        sim::Tick resolveAt;
+    };
+
+    std::unordered_map<PageId, PageState> pages_;
+    std::uint64_t seqFaults_ = 0;
+    std::uint64_t concFaults_ = 0;
+};
+
+} // namespace cedar::os
+
+#endif // CEDAR_OS_PAGE_TABLE_HH

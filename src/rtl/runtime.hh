@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The Cedar Fortran runtime library model.
+ *
+ * Implements the published scheduling algorithms on top of the
+ * simulated machine:
+ *
+ *  - one helper task per non-master cluster, created through Xylem
+ *    at program start, spinning on the sdoall activity word in
+ *    global memory for parallel-loop work;
+ *  - hierarchical SDOALL/CDOALL: outer iterations self-scheduled
+ *    one at a time per cluster through a global fetch&add, the
+ *    inner cdoall spread over the cluster's CEs via the
+ *    concurrency bus;
+ *  - flat XDOALL: every CE of every participating cluster competes
+ *    for iterations with an atomic fetch&add on the shared index
+ *    word (the network hot spot the paper analyses), ending with a
+ *    concurrency-bus sync per cluster;
+ *  - main-cluster-only CDOALL and CDOACROSS (with a serialised
+ *    region) loops;
+ *  - the s(x)doall finish barrier: the main task spin-waits until
+ *    every helper that entered the loop has detached.
+ *
+ * Every instrumentation point from Section 4 of the paper posts a
+ * cedarhpm trace event.
+ */
+
+#ifndef CEDAR_RTL_RUNTIME_HH
+#define CEDAR_RTL_RUNTIME_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/workload.hh"
+#include "hw/machine.hh"
+#include "os/page_table.hh"
+#include "rtl/sync.hh"
+#include "sim/fifo_server.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace cedar::rtl
+{
+
+/** Page size of the Xylem VM system, in double-words (8 KB). */
+inline constexpr unsigned page_words = 1024;
+
+/** Wall-clock windows a cluster spent executing parallel loops. */
+struct ClusterWindow
+{
+    sim::Tick sxWall = 0; //!< cross-cluster s(x)doall execution
+    sim::Tick mcWall = 0; //!< main-cluster-only loop execution
+};
+
+/** Aggregate runtime counters for tests and reports. */
+struct RuntimeStats
+{
+    std::uint64_t loopsPosted = 0;
+    std::uint64_t sdoallLoops = 0;
+    std::uint64_t xdoallLoops = 0;
+    std::uint64_t mcLoops = 0;
+    std::uint64_t cdoacrossLoops = 0;
+    std::uint64_t outerIters = 0;
+    std::uint64_t bodiesExecuted = 0;
+    std::uint64_t helperJoins = 0;
+    std::uint64_t stepsRun = 0;
+};
+
+/** Executes one application on one machine, start to finish. */
+class Runtime
+{
+  public:
+    Runtime(hw::Machine &m, const apps::AppModel &app);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * Run the application to completion: starts OS daemons, the
+     * statfx monitor, helper tasks, then the program; drives the
+     * event queue until the main task finishes; finalizes the
+     * accounting ledger.
+     *
+     * @param event_limit safety valve on total events executed.
+     */
+    void run(std::uint64_t event_limit = 500'000'000ULL);
+
+    bool finished() const { return finished_; }
+    sim::Tick completionTime() const { return ct_; }
+
+    const std::vector<ClusterWindow> &windows() const { return windows_; }
+    const RuntimeStats &stats() const { return stats_; }
+
+  private:
+    struct LoopInstance
+    {
+        std::uint32_t seq;
+        unsigned phaseIdx = 0;
+        const apps::LoopSpec *spec;
+        sim::Addr region;
+        sim::Addr sharedBase = 0; //!< shared lookup-table region
+        std::unique_ptr<SyncCell> iterCell;
+        std::unique_ptr<SyncCell> attachCell;
+        /** cdoacross: FIFO ticket server for the serialised region. */
+        std::unique_ptr<sim::FifoServer> serializer;
+        bool open = true;
+
+        /**
+         * The critical-section lock protecting the loop's iteration
+         * index. Its hold time is the acquirer's full
+         * acquire/update/release round trip through the network, so
+         * under load the pick-up cost compounds with memory
+         * contention — the xdoall hot-spot effect of Section 6.
+         */
+        bool lockBusy = false;
+        std::deque<std::pair<hw::Ce *, sim::Cont>> lockWaiters;
+
+        /** Per-cluster iteration block for chunked self-scheduling
+         *  (spec.pickupBlock > 1): the hot-spot mitigation. */
+        struct Block
+        {
+            std::uint64_t next = 0;
+            std::uint64_t end = 0;
+        };
+        std::vector<Block> blocks;
+    };
+    using LoopPtr = std::shared_ptr<LoopInstance>;
+
+    struct SerialArena
+    {
+        os::PageId firstPage = 0;
+        std::uint64_t nPages = 0;
+        std::uint64_t progress = 0;
+    };
+
+    hw::Ce &mainLead() { return m_.cluster(0).lead(); }
+
+    // Program driver (runs on the main task's lead CE).
+    void startProgram();
+    void createHelpers(unsigned next);
+    void runStep(unsigned step);
+    void runPhase(unsigned step, unsigned idx);
+    void finishProgram();
+
+    void execSerial(unsigned phase_idx, const apps::SerialSpec &s,
+                    sim::Cont k);
+    void execSpreadLoop(unsigned step, unsigned phase_idx,
+                        const apps::LoopSpec &s, sim::Cont k);
+    void execMainClusterLoop(unsigned step, unsigned phase_idx,
+                             const apps::LoopSpec &s, sim::Cont k);
+
+    // Helper task engine.
+    void helperWaitLoop(sim::ClusterId c);
+    void onHelperWake(sim::ClusterId c);
+    void joinLoop(sim::ClusterId c, const LoopPtr &loop, hw::Ce &lead);
+
+    // Loop participation (per cluster task).
+    void participate(sim::ClusterId c, const LoopPtr &loop, sim::Cont done);
+    void pickOuter(sim::ClusterId c, const LoopPtr &loop, sim::Cont done);
+
+    /**
+     * Pick the next iteration of @p loop on @p ce: acquire the
+     * index lock, fetch&add the index word, release. @p k receives
+     * the picked index.
+     */
+    void pickupIndex(hw::Ce &ce, const LoopPtr &loop,
+                     const hw::Ce::ValCont &k);
+    void acquireIndexLock(hw::Ce &ce, const LoopPtr &loop, sim::Cont k);
+    void releaseIndexLock(const LoopPtr &loop);
+    void execOuterIteration(sim::ClusterId c, const LoopPtr &loop,
+                            std::uint64_t outer_idx, sim::Cont k);
+    void xdoallCeLoop(hw::Ce &ce, const LoopPtr &loop, sim::Cont k);
+    void runShare(hw::Ce &ce, const LoopPtr &loop, std::uint64_t first,
+                  std::uint64_t count, sim::FifoServer *serializer,
+                  os::UserAct act, sim::Cont k);
+    void execBody(hw::Ce &ce, const LoopPtr &loop, std::uint64_t iter_key,
+                  sim::FifoServer *serializer, os::UserAct act,
+                  sim::Cont k);
+    void execBursts(hw::Ce &ce, sim::Addr addr, unsigned words,
+                    unsigned burst_len, sim::Tick compute, bool prefetch,
+                    os::UserAct act, sim::Cont k);
+
+    // Bookkeeping.
+    LoopPtr newInstance(unsigned step, unsigned phase_idx,
+                        const apps::LoopSpec &s);
+    sim::Addr bodyAddr(const LoopInstance &loop,
+                       std::uint64_t iter_key) const;
+    void touchBodyPages(hw::Ce &ce, sim::Addr addr, unsigned words,
+                        sim::Cont k);
+    void windowEnter(sim::ClusterId c);
+    void windowExit(sim::ClusterId c, bool mc);
+
+    hw::Machine &m_;
+    apps::AppModel app_;
+
+    std::unique_ptr<SyncCell> activity_;
+    std::vector<std::uint64_t> lastSeen_;
+    std::vector<std::vector<sim::Addr>> loopBuffers_; //!< per phase
+    std::vector<std::vector<sim::Addr>> loopShared_;  //!< per phase
+    std::vector<SerialArena> serialArenas_;           //!< per phase
+    std::vector<sim::RandomGen> ceRng_;
+    std::vector<ClusterWindow> windows_;
+    std::vector<sim::Tick> windowEnterAt_;
+
+    LoopPtr curLoop_;
+    std::uint32_t nextSeq_ = 1;
+    bool finished_ = false;
+    sim::Tick ct_ = 0;
+    RuntimeStats stats_;
+};
+
+} // namespace cedar::rtl
+
+#endif // CEDAR_RTL_RUNTIME_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Global-memory synchronisation cells.
+ *
+ * The Cedar Fortran runtime synchronises through words in global
+ * memory: the sdoall activity word helpers spin on, per-loop
+ * iteration indices picked up with atomic fetch&add, and the
+ * attached-helpers count the main task spins on at the loop finish
+ * barrier.
+ *
+ * Updates are real network transactions (they contend at the
+ * module holding the word). Spin waits are modelled by
+ * notification: a waiter wakes spin_wake_latency ticks after the
+ * value changes, which matches a poll loop of that period without
+ * simulating every poll; the paper itself observes that spin
+ * polling contributes negligible network contention.
+ */
+
+#ifndef CEDAR_RTL_SYNC_HH
+#define CEDAR_RTL_SYNC_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/machine.hh"
+#include "sim/types.hh"
+
+namespace cedar::rtl
+{
+
+/** A synchronisation word in global memory with notify-on-update. */
+class SyncCell
+{
+  public:
+    using Pred = std::function<bool(std::uint64_t)>;
+
+    SyncCell(hw::Machine &m, sim::Addr addr) : m_(m), addr_(addr) {}
+
+    sim::Addr addr() const { return addr_; }
+    std::uint64_t value() const { return m_.gmem().peek(addr_); }
+
+    /** Untimed initialisation. */
+    void set(std::uint64_t v) { m_.gmem().poke(addr_, v); }
+
+    /**
+     * Timed atomic update through the network by @p ce, accounted
+     * to @p act; waiters are re-evaluated when it lands.
+     */
+    void update(hw::Ce &ce, const hw::Ce::RmwFn &f, os::UserAct act,
+                const hw::Ce::ValCont &k);
+
+    /**
+     * Spin until @p pred holds on the cell value. The CE is active
+     * (it is executing a poll loop); its wait is accounted to
+     * @p act when it wakes.
+     */
+    void wait(hw::Ce &ce, Pred pred, os::UserAct act, sim::Cont k);
+
+    std::size_t waiters() const { return waiters_.size(); }
+
+  private:
+    struct Waiter
+    {
+        hw::Ce *ce;
+        Pred pred;
+        os::UserAct act;
+        sim::Cont k;
+    };
+
+    void notify();
+    void wake(std::size_t stagger, Waiter w);
+
+    hw::Machine &m_;
+    sim::Addr addr_;
+    std::vector<Waiter> waiters_;
+};
+
+} // namespace cedar::rtl
+
+#endif // CEDAR_RTL_SYNC_HH

@@ -1,0 +1,63 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace cedar::sim
+{
+
+void
+EventQueue::schedule(Tick when, Cont fn)
+{
+    if (when < _now)
+        throw std::logic_error("EventQueue: scheduling into the past");
+    events_.push(Item{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (!events_.empty()) {
+        if (n >= limit)
+            return false;
+        // priority_queue::top() is const; move out via const_cast is
+        // avoided by copying the (small) wrapper and popping.
+        Item item = std::move(const_cast<Item &>(events_.top()));
+        events_.pop();
+        assert(item.when >= _now);
+        _now = item.when;
+        ++n;
+        ++executed_;
+        item.fn();
+    }
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!events_.empty() && events_.top().when <= until) {
+        Item item = std::move(const_cast<Item &>(events_.top()));
+        events_.pop();
+        _now = item.when;
+        ++executed_;
+        item.fn();
+    }
+    if (_now < until && events_.empty())
+        return;
+    if (_now < until)
+        _now = until;
+}
+
+void
+EventQueue::reset()
+{
+    events_ = {};
+    _now = 0;
+    nextSeq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace cedar::sim

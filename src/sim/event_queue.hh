@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered event queue drives the whole machine
+ * model. Events are arbitrary callbacks scheduled at absolute ticks;
+ * ties are broken by insertion order so simulations are fully
+ * deterministic for a given seed.
+ */
+
+#ifndef CEDAR_SIM_EVENT_QUEUE_HH
+#define CEDAR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cedar::sim
+{
+
+/**
+ * The event queue: a priority queue of (tick, seq, callback).
+ *
+ * The queue owns simulated time. Model components never advance
+ * time themselves; they schedule continuations and return.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param fn Callback to run at that tick.
+     */
+    void schedule(Tick when, Cont fn);
+
+    /** Schedule a callback @p delta ticks from now. */
+    void scheduleIn(Tick delta, Cont fn) { schedule(_now + delta, fn); }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Run events until the queue drains or @p limit events have
+     * executed.
+     *
+     * @return true if the queue drained, false if the limit hit.
+     */
+    bool run(std::uint64_t limit = ~std::uint64_t(0));
+
+    /**
+     * Run events with timestamps <= @p until (inclusive), stopping
+     * early if the queue drains. Afterwards now() == until unless
+     * the queue drained before reaching it.
+     */
+    void runUntil(Tick until);
+
+    /** Reset time and drop all pending events. */
+    void reset();
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        Cont fn;
+
+        bool
+        operator>(const Item &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> events_;
+    Tick _now = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace cedar::sim
+
+#endif // CEDAR_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reservation-based FIFO server.
+ *
+ * The network and memory models are built from single-resource FIFO
+ * servers (crossbar output ports, switch input ports, memory
+ * modules). A request arriving at tick A needing S ticks of service
+ * starts at max(A, free_at) and completes at start + S. Because the
+ * whole path of a transfer can be reserved at issue time, no per-hop
+ * events are needed; contention emerges from the reservations.
+ */
+
+#ifndef CEDAR_SIM_FIFO_SERVER_HH
+#define CEDAR_SIM_FIFO_SERVER_HH
+
+#include <algorithm>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace cedar::sim
+{
+
+/** A single-resource FIFO queueing server. */
+class FifoServer
+{
+  public:
+    /**
+     * Reserve @p service ticks starting no earlier than @p arrival.
+     *
+     * @return completion tick of this request.
+     */
+    Tick
+    serve(Tick arrival, Tick service)
+    {
+        const Tick start = std::max(arrival, freeAt_);
+        stats_.record(start - arrival, service);
+        freeAt_ = start + service;
+        return freeAt_;
+    }
+
+    /** Next tick at which the server is free. */
+    Tick freeAt() const { return freeAt_; }
+
+    /** Cumulative queueing/busy statistics. */
+    const ServerStats &stats() const { return stats_; }
+
+    void
+    reset()
+    {
+        freeAt_ = 0;
+        stats_.reset();
+    }
+
+  private:
+    Tick freeAt_ = 0;
+    ServerStats stats_;
+};
+
+} // namespace cedar::sim
+
+#endif // CEDAR_SIM_FIFO_SERVER_HH

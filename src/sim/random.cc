@@ -1,0 +1,93 @@
+#include "sim/random.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace cedar::sim
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+RandomGen::RandomGen(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+RandomGen::next()
+{
+    // xoshiro256**
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+RandomGen::below(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Lemire-style rejection-free multiply-shift; tiny bias is
+    // irrelevant for model noise.
+    unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+RandomGen::range(std::uint64_t lo, std::uint64_t hi)
+{
+    assert(hi >= lo);
+    return lo + below(hi - lo + 1);
+}
+
+double
+RandomGen::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+Tick
+RandomGen::exponential(double mean)
+{
+    double u = uniform();
+    if (u <= 0.0)
+        u = 1e-12;
+    double v = -mean * std::log(u);
+    if (v < 1.0)
+        return 1;
+    return static_cast<Tick>(v);
+}
+
+RandomGen
+RandomGen::fork()
+{
+    return RandomGen(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace cedar::sim

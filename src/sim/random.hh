@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the models.
+ *
+ * Every stochastic model input (OS daemon arrivals, jittered loop
+ * bodies, page access order) draws from a RandomGen seeded from the
+ * experiment seed, so a run is exactly reproducible.
+ */
+
+#ifndef CEDAR_SIM_RANDOM_HH
+#define CEDAR_SIM_RANDOM_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cedar::sim
+{
+
+/**
+ * A small, fast SplitMix64/xoshiro256**-based generator.
+ *
+ * Not std::mt19937 because we want a stable, documented sequence
+ * that is identical across standard-library implementations.
+ */
+class RandomGen
+{
+  public:
+    explicit RandomGen(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish interarrival draw with the given mean, min 1.
+     * Used for OS background activity arrivals.
+     */
+    Tick exponential(double mean);
+
+    /** Fork a decorrelated child generator (for per-CE streams). */
+    RandomGen fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace cedar::sim
+
+#endif // CEDAR_SIM_RANDOM_HH

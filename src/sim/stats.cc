@@ -1,0 +1,49 @@
+#include "sim/stats.hh"
+
+#include <sstream>
+
+namespace cedar::sim
+{
+
+Histogram::Histogram(Tick bucket_width, std::size_t n)
+    : width_(bucket_width ? bucket_width : 1), buckets_(n ? n : 1, 0)
+{
+}
+
+void
+Histogram::sample(Tick v)
+{
+    std::size_t idx = static_cast<std::size_t>(v / width_);
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+    ++count_;
+    max_ = std::max(max_, v);
+}
+
+Tick
+Histogram::percentile(double frac) const
+{
+    if (count_ == 0)
+        return 0;
+    const auto target =
+        static_cast<std::uint64_t>(frac * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return static_cast<Tick>(i + 1) * width_;
+    }
+    return max_;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    os << "count=" << count_ << " max=" << max_
+       << " p50=" << percentile(0.5) << " p95=" << percentile(0.95);
+    return os.str();
+}
+
+} // namespace cedar::sim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Lightweight statistics helpers used across the model: scalar
+ * counters, mean/max accumulators, and a busy-time tracker for
+ * FIFO-server resources.
+ */
+
+#ifndef CEDAR_SIM_STATS_HH
+#define CEDAR_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cedar::sim
+{
+
+/** Running mean / min / max / count accumulator. */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        min_ = 0;
+        max_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Tracks utilisation of a single-server FIFO resource: total busy
+ * time, total queueing (waiting) time, and request count. Every
+ * network port and memory module owns one.
+ */
+class ServerStats
+{
+  public:
+    void
+    record(Tick wait, Tick service)
+    {
+        ++requests_;
+        waitTicks_ += wait;
+        busyTicks_ += service;
+    }
+
+    std::uint64_t requests() const { return requests_; }
+    Tick waitTicks() const { return waitTicks_; }
+    Tick busyTicks() const { return busyTicks_; }
+
+    double
+    meanWait() const
+    {
+        return requests_ ? static_cast<double>(waitTicks_) / requests_ : 0.0;
+    }
+
+    double
+    utilization(Tick elapsed) const
+    {
+        return elapsed ? static_cast<double>(busyTicks_) / elapsed : 0.0;
+    }
+
+    void
+    reset()
+    {
+        requests_ = 0;
+        waitTicks_ = 0;
+        busyTicks_ = 0;
+    }
+
+  private:
+    std::uint64_t requests_ = 0;
+    Tick waitTicks_ = 0;
+    Tick busyTicks_ = 0;
+};
+
+/** Fixed-bucket histogram (for latency distributions). */
+class Histogram
+{
+  public:
+    /** @param bucket_width width of each bucket; @param n buckets. */
+    explicit Histogram(Tick bucket_width = 16, std::size_t n = 64);
+
+    void sample(Tick v);
+
+    std::uint64_t count() const { return count_; }
+    Tick maxSample() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    Tick bucketWidth() const { return width_; }
+
+    /** Smallest value v such that at least frac of samples <= v. */
+    Tick percentile(double frac) const;
+
+    std::string toString() const;
+
+  private:
+    Tick width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    Tick max_ = 0;
+};
+
+} // namespace cedar::sim
+
+#endif // CEDAR_SIM_STATS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every cedar module.
+ */
+
+#ifndef CEDAR_SIM_TYPES_HH
+#define CEDAR_SIM_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace cedar::sim
+{
+
+/**
+ * Simulated time, in CE clock cycles. One tick is one processor
+ * cycle; at the default 20 MHz model clock a tick is 50 ns, which
+ * also matches the cedarhpm timestamp resolution reported in the
+ * paper.
+ */
+using Tick = std::uint64_t;
+
+/** Sentinel for "never" / unset times. */
+inline constexpr Tick max_tick = ~Tick(0);
+
+/** Default model clock: 20 MHz, i.e. 50 ns per tick. */
+inline constexpr double default_clock_hz = 20e6;
+
+/** Convert a tick count into model seconds at a given clock. */
+inline double
+ticksToSeconds(Tick t, double clock_hz = default_clock_hz)
+{
+    return static_cast<double>(t) / clock_hz;
+}
+
+/** Convert model seconds into ticks at a given clock. */
+inline Tick
+secondsToTicks(double s, double clock_hz = default_clock_hz)
+{
+    return static_cast<Tick>(s * clock_hz);
+}
+
+/**
+ * Continuation type. The machine model executes continuation-passing
+ * programs: every potentially blocking primitive (compute slice,
+ * memory access, lock acquisition, spin poll) takes a continuation
+ * that is invoked, via the event queue, when the primitive
+ * completes.
+ */
+using Cont = std::function<void()>;
+
+/** Identifies a computational element globally (0..nCes-1). */
+using CeId = int;
+
+/** Identifies a cluster (0..nClusters-1). */
+using ClusterId = int;
+
+/** Global memory address, in double-words (8 bytes), as on Cedar. */
+using Addr = std::uint64_t;
+
+} // namespace cedar::sim
+
+#endif // CEDAR_SIM_TYPES_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the workload description and the Perfect Benchmark
+ * application models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/perfect.hh"
+#include "apps/workload.hh"
+
+namespace
+{
+
+using namespace cedar::apps;
+
+TEST(Workload, LoopKindNames)
+{
+    EXPECT_STREQ(toString(LoopKind::sdoall), "sdoall/cdoall");
+    EXPECT_STREQ(toString(LoopKind::xdoall), "xdoall");
+    EXPECT_STREQ(toString(LoopKind::mc_cdoall), "mc cdoall");
+    EXPECT_STREQ(toString(LoopKind::cdoacross), "cdoacross");
+}
+
+TEST(Workload, ScaledShrinksStepsAndIterations)
+{
+    AppModel app;
+    app.steps = 40;
+    SerialSpec s;
+    s.compute = 10000;
+    s.pages = 8;
+    app.phases.push_back(s);
+    LoopSpec l;
+    l.kind = LoopKind::sdoall;
+    l.outerIters = 16;
+    l.innerIters = 64;
+    l.computePerIter = 500;
+    app.phases.push_back(l);
+
+    const auto small = app.scaled(0.25);
+    EXPECT_EQ(small.steps, 20u); // sqrt(0.25) = 0.5
+    const auto &sl = std::get<LoopSpec>(small.phases[1]);
+    EXPECT_EQ(sl.outerIters, 8u);
+    // Granularity preserved: inner count and per-iteration work
+    // unchanged.
+    EXPECT_EQ(sl.innerIters, 64u);
+    EXPECT_EQ(sl.computePerIter, 500u);
+    const auto &ss = std::get<SerialSpec>(small.phases[0]);
+    EXPECT_EQ(ss.compute, 5000u);
+}
+
+TEST(Workload, ScaledNeverDropsToZero)
+{
+    AppModel app;
+    app.steps = 2;
+    LoopSpec l;
+    l.outerIters = 2;
+    l.innerIters = 2;
+    app.phases.push_back(l);
+    const auto tiny = app.scaled(0.01);
+    EXPECT_GE(tiny.steps, 1u);
+    EXPECT_GE(std::get<LoopSpec>(tiny.phases[0]).outerIters, 1u);
+}
+
+TEST(Workload, CountLoops)
+{
+    AppModel app;
+    LoopSpec a;
+    a.kind = LoopKind::sdoall;
+    LoopSpec b;
+    b.kind = LoopKind::xdoall;
+    app.phases = {a, b, a, SerialSpec{}};
+    EXPECT_EQ(app.countLoops(LoopKind::sdoall), 2u);
+    EXPECT_EQ(app.countLoops(LoopKind::xdoall), 1u);
+    EXPECT_EQ(app.countLoops(LoopKind::cdoacross), 0u);
+}
+
+TEST(Workload, FusionMergesAdjacentSpreadLoops)
+{
+    AppModel app;
+    app.name = "f";
+    app.steps = 2;
+    LoopSpec a;
+    a.kind = LoopKind::sdoall;
+    a.outerIters = 10;
+    a.innerIters = 40;
+    a.computePerIter = 1000;
+    a.words = 100;
+    LoopSpec b = a;
+    b.outerIters = 6;
+    b.innerIters = 20;
+    b.computePerIter = 2000;
+    b.words = 300;
+    app.phases = {a, b, SerialSpec{}, a};
+
+    const auto fused = withFusedLoops(app);
+    // a+b merged; the serial section breaks the run; final a kept.
+    ASSERT_EQ(fused.phases.size(), 3u);
+    const auto &m = std::get<LoopSpec>(fused.phases[0]);
+    // Total bodies preserved: 10*40 + 6*20 = 520 at inner 20.
+    EXPECT_EQ(m.innerIters, 20u);
+    EXPECT_EQ(m.outerIters, 26u);
+    // Total work preserved: 400*1000 + 120*2000 = 640000.
+    EXPECT_NEAR(static_cast<double>(m.computePerIter) * 520, 640000,
+                1000);
+    // Total traffic preserved: 400*100 + 120*300 = 76000.
+    EXPECT_NEAR(static_cast<double>(m.words) * 520, 76000, 600);
+}
+
+TEST(Workload, FusionDoesNotMixConstructs)
+{
+    AppModel app;
+    LoopSpec sd;
+    sd.kind = LoopKind::sdoall;
+    LoopSpec xd;
+    xd.kind = LoopKind::xdoall;
+    LoopSpec mc;
+    mc.kind = LoopKind::mc_cdoall;
+    app.phases = {sd, xd, mc, mc};
+    const auto fused = withFusedLoops(app);
+    // sdoall and xdoall stay separate; mc loops are never fused.
+    EXPECT_EQ(fused.phases.size(), 4u);
+}
+
+TEST(PerfectApps, AllFiveExist)
+{
+    const auto all = allPerfectApps();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].name, "FLO52");
+    EXPECT_EQ(all[1].name, "ARC2D");
+    EXPECT_EQ(all[2].name, "MDG");
+    EXPECT_EQ(all[3].name, "OCEAN");
+    EXPECT_EQ(all[4].name, "ADM");
+}
+
+TEST(PerfectApps, LookupIsCaseInsensitive)
+{
+    EXPECT_EQ(perfectAppByName("flo52").name, "FLO52");
+    EXPECT_EQ(perfectAppByName("Mdg").name, "MDG");
+    EXPECT_THROW(perfectAppByName("nope"), std::invalid_argument);
+}
+
+TEST(PerfectApps, Flo52UsesOnlyTheHierarchicalConstruct)
+{
+    // Paper Section 2: FLO52 only uses SDOALL/CDOALL.
+    const auto app = makeFlo52();
+    EXPECT_GT(app.countLoops(LoopKind::sdoall), 0u);
+    EXPECT_EQ(app.countLoops(LoopKind::xdoall), 0u);
+}
+
+TEST(PerfectApps, AdmUsesOnlyTheFlatConstruct)
+{
+    // Paper Section 2: ADM only uses XDOALL.
+    const auto app = makeAdm();
+    EXPECT_GT(app.countLoops(LoopKind::xdoall), 0u);
+    EXPECT_EQ(app.countLoops(LoopKind::sdoall), 0u);
+}
+
+TEST(PerfectApps, OthersUseBothConstructs)
+{
+    for (const auto &app : {makeArc2d(), makeMdg(), makeOcean()}) {
+        EXPECT_GT(app.countLoops(LoopKind::sdoall) +
+                      app.countLoops(LoopKind::cdoacross),
+                  0u)
+            << app.name;
+        EXPECT_GT(app.countLoops(LoopKind::xdoall), 0u) << app.name;
+    }
+}
+
+TEST(PerfectApps, EveryAppHasSerialSectionsAndSteps)
+{
+    for (const auto &app : allPerfectApps()) {
+        EXPECT_GT(app.steps, 1u) << app.name;
+        bool has_serial = false;
+        for (const auto &p : app.phases)
+            has_serial |= std::holds_alternative<SerialSpec>(p);
+        EXPECT_TRUE(has_serial) << app.name;
+    }
+}
+
+TEST(PerfectApps, LoopSpecsAreWellFormed)
+{
+    for (const auto &app : allPerfectApps()) {
+        for (const auto &p : app.phases) {
+            const auto *l = std::get_if<LoopSpec>(&p);
+            if (!l)
+                continue;
+            EXPECT_GT(l->outerIters, 0u) << app.name;
+            EXPECT_GT(l->computePerIter, 0u) << app.name;
+            EXPECT_GT(l->regionWords, l->words) << app.name;
+            if (l->kind == LoopKind::sdoall) {
+                EXPECT_GT(l->innerIters, 1u) << app.name;
+            }
+            if (l->words > 0) {
+                EXPECT_GT(l->burstLen, 0u) << app.name;
+            }
+            EXPECT_GE(l->jitterFrac, 0.0) << app.name;
+            EXPECT_LT(l->jitterFrac, 1.0) << app.name;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the measurement facilities: the cedarhpm trace and the
+ * statfx concurrency monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "hpm/statfx.hh"
+#include "hpm/trace.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace cedar;
+using hpm::EventId;
+
+TEST(Trace, RecordsEventIdTimestampAndProcessor)
+{
+    hpm::Trace t;
+    t.post(1234, 7, EventId::iter_start, 42);
+    ASSERT_EQ(t.records().size(), 1u);
+    const auto &r = t.records()[0];
+    EXPECT_EQ(r.when, 1234u);
+    EXPECT_EQ(r.ce, 7);
+    EXPECT_EQ(r.id(), EventId::iter_start);
+    EXPECT_EQ(r.arg, 42u);
+}
+
+TEST(Trace, DisabledTraceRecordsNothing)
+{
+    hpm::Trace t;
+    t.setEnabled(false);
+    t.post(1, 0, EventId::iter_start);
+    EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Trace, FullBufferDropsAndCounts)
+{
+    hpm::Trace t(4);
+    for (int i = 0; i < 10; ++i)
+        t.post(i, 0, EventId::iter_start);
+    EXPECT_EQ(t.records().size(), 4u);
+    EXPECT_EQ(t.dropped(), 6u);
+}
+
+TEST(Trace, FileRoundTrip)
+{
+    hpm::Trace t;
+    for (int i = 0; i < 100; ++i)
+        t.post(i * 10, i % 32, EventId::pickup_enter, i);
+    const std::string path = "/tmp/cedar_trace_test.bin";
+    t.writeFile(path);
+    const auto back = hpm::Trace::readFile(path);
+    ASSERT_EQ(back.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(back[i].when, static_cast<sim::Tick>(i * 10));
+        EXPECT_EQ(back[i].arg, static_cast<std::uint32_t>(i));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReadMissingFileThrows)
+{
+    EXPECT_THROW(hpm::Trace::readFile("/tmp/definitely_not_there.bin"),
+                 std::runtime_error);
+}
+
+TEST(Trace, DumpIsHumanReadable)
+{
+    hpm::Trace t;
+    t.post(5, 1, EventId::barrier_enter, 9);
+    std::ostringstream os;
+    t.dump(os, 10);
+    EXPECT_NE(os.str().find("barrier_enter"), std::string::npos);
+}
+
+TEST(Trace, EveryEventHasAName)
+{
+    for (int i = 0; i < static_cast<int>(EventId::NUM); ++i)
+        EXPECT_STRNE(toString(static_cast<EventId>(i)), "?");
+}
+
+TEST(Statfx, AveragesActiveCounts)
+{
+    sim::EventQueue eq;
+    // Cluster 0 reports 3 active CEs before t=10000, 1 after.
+    hpm::Statfx fx(eq, 2,
+                   [&eq](sim::ClusterId c) -> unsigned {
+                       if (c == 1)
+                           return 0;
+                       return eq.now() <= 10000 ? 3 : 1;
+                   },
+                   1000);
+    fx.start();
+    eq.runUntil(20000);
+    fx.stop();
+    EXPECT_GT(fx.samples(), 15u);
+    EXPECT_NEAR(fx.clusterConcurrency(0), 2.0, 0.25);
+    EXPECT_DOUBLE_EQ(fx.clusterConcurrency(1), 0.0);
+    EXPECT_NEAR(fx.machineConcurrency(), fx.clusterConcurrency(0), 1e-9);
+}
+
+TEST(Statfx, StopsCleanly)
+{
+    sim::EventQueue eq;
+    hpm::Statfx fx(eq, 1, [](sim::ClusterId) { return 1u; }, 100);
+    fx.start();
+    eq.runUntil(1000);
+    fx.stop();
+    eq.run();
+    const auto n = fx.samples();
+    EXPECT_GT(n, 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+} // namespace

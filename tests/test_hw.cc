@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the machine model: configuration factory, CE execution
+ * primitives, interrupt overlay semantics, concurrency bus and the
+ * assembled machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.hh"
+#include "os/xylem.hh"
+
+namespace
+{
+
+using namespace cedar;
+using cedar::os::OsAct;
+using cedar::os::TimeCat;
+using cedar::os::UserAct;
+using cedar::sim::Tick;
+
+TEST(Config, WithProcsMatchesPaperConfigurations)
+{
+    const struct
+    {
+        unsigned procs, clusters, ces;
+    } cases[] = {{1, 1, 1}, {4, 1, 4}, {8, 1, 8}, {16, 2, 8}, {32, 4, 8}};
+    for (const auto &c : cases) {
+        const auto cfg = hw::CedarConfig::withProcs(c.procs);
+        EXPECT_EQ(cfg.nClusters, c.clusters);
+        EXPECT_EQ(cfg.cesPerCluster, c.ces);
+        EXPECT_EQ(cfg.numCes(), c.procs);
+    }
+    EXPECT_THROW(hw::CedarConfig::withProcs(7), std::invalid_argument);
+}
+
+TEST(Config, LabelNamesProcessorCount)
+{
+    EXPECT_EQ(hw::CedarConfig::withProcs(32).label(), "32 proc");
+}
+
+struct MachineFixture : ::testing::Test
+{
+    hw::Machine m{hw::CedarConfig::withProcs(32)};
+};
+
+TEST_F(MachineFixture, TopologyAssembled)
+{
+    EXPECT_EQ(m.numClusters(), 4u);
+    EXPECT_EQ(m.numCes(), 32u);
+    EXPECT_EQ(m.ce(9).cluster(), 1);
+    EXPECT_EQ(m.ce(9).localIndex(), 1);
+    EXPECT_EQ(m.ce(31).cluster(), 3);
+    EXPECT_EQ(m.ce(31).localIndex(), 7);
+}
+
+TEST_F(MachineFixture, GlobalAllocatorAlignsToGroup)
+{
+    const auto a = m.allocGlobal(10);
+    const auto b = m.allocGlobal(10);
+    EXPECT_EQ(a % m.config().groupSize, 0u);
+    EXPECT_EQ(b % m.config().groupSize, 0u);
+    EXPECT_GE(b, a + 10);
+}
+
+TEST_F(MachineFixture, SyncWordsLandOnDistinctModules)
+{
+    const auto a = m.allocSyncWord();
+    const auto b = m.allocSyncWord();
+    EXPECT_NE(m.gmem().map().module(a), m.gmem().map().module(b));
+}
+
+TEST_F(MachineFixture, ComputeAccountsUserTime)
+{
+    bool done = false;
+    m.ce(0).compute(500, UserAct::serial, [&] { done = true; });
+    m.eq().run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(m.now(), 500u);
+    EXPECT_EQ(m.acct().ce(0).inUser(UserAct::serial), 500u);
+}
+
+TEST_F(MachineFixture, OpsRunInProgramOrder)
+{
+    std::vector<int> order;
+    auto &ce = m.ce(0);
+    ce.compute(10, UserAct::serial, [&] {
+        order.push_back(1);
+        ce.compute(10, UserAct::serial, [&] { order.push_back(2); });
+    });
+    m.eq().run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(m.now(), 20u);
+}
+
+TEST_F(MachineFixture, GlobalAccessStallsAreUserTime)
+{
+    auto &ce = m.ce(0);
+    Tick completed = 0;
+    ce.globalAccess(0, 64, UserAct::iter_exec,
+                    [&] { completed = m.now(); });
+    m.eq().run();
+    EXPECT_GT(completed, 64u); // pipeline + latency
+    EXPECT_EQ(m.acct().ce(0).inUser(UserAct::iter_exec), completed);
+    EXPECT_EQ(ce.globalWords(), 64u);
+}
+
+TEST_F(MachineFixture, GlobalRmwDeliversOldValue)
+{
+    m.gmem().poke(40, 7);
+    std::uint64_t old = 99;
+    m.ce(0).globalRmw(40, [](std::uint64_t v) { return v + 1; },
+                      UserAct::iter_pickup,
+                      [&](std::uint64_t o) { old = o; });
+    m.eq().run();
+    EXPECT_EQ(old, 7u);
+    EXPECT_EQ(m.gmem().peek(40), 8u);
+}
+
+TEST_F(MachineFixture, InterruptElongatesBusyOp)
+{
+    auto &ce = m.ce(0);
+    Tick completed = 0;
+    ce.compute(1000, UserAct::serial, [&] { completed = m.now(); });
+    m.eq().schedule(100, [&] {
+        ce.chargeInterrupt(50, TimeCat::interrupt, OsAct::cpi);
+    });
+    m.eq().run();
+    EXPECT_EQ(completed, 1050u);
+    EXPECT_EQ(m.acct().ce(0).inOs(OsAct::cpi), 50u);
+    EXPECT_EQ(m.acct().ce(0).inUser(UserAct::serial), 1000u);
+}
+
+TEST_F(MachineFixture, InterruptDuringWaitIsDeductedFromWait)
+{
+    auto &ce = m.ce(0);
+    ce.beginWait();
+    m.eq().schedule(100, [&] {
+        ce.chargeInterrupt(30, TimeCat::interrupt, OsAct::cpi);
+    });
+    Tick waited = 0;
+    m.eq().schedule(400, [&] { waited = ce.endWaitUser(
+                                   UserAct::barrier_wait); });
+    m.eq().run();
+    EXPECT_EQ(waited, 370u);
+    EXPECT_EQ(m.acct().ce(0).inUser(UserAct::barrier_wait), 370u);
+    EXPECT_EQ(m.acct().ce(0).inOs(OsAct::cpi), 30u);
+}
+
+TEST_F(MachineFixture, PendingChargeDelaysNextOp)
+{
+    auto &ce = m.ce(0);
+    ce.chargeInterrupt(25, TimeCat::system, OsAct::ctx);
+    Tick completed = 0;
+    ce.compute(100, UserAct::serial, [&] { completed = m.now(); });
+    m.eq().run();
+    EXPECT_EQ(completed, 125u);
+}
+
+TEST_F(MachineFixture, ActiveFollowsBusyAndWaitKind)
+{
+    auto &ce = m.ce(0);
+    EXPECT_FALSE(ce.active());
+    ce.beginWait(/*passive=*/true);
+    EXPECT_FALSE(ce.active()); // bus sync is not a software spin
+    ce.endWait();
+    ce.beginWait(/*passive=*/false);
+    EXPECT_TRUE(ce.active());
+    ce.endWait();
+    ce.compute(10, UserAct::serial, [] {});
+    EXPECT_TRUE(ce.active());
+    m.eq().run();
+    EXPECT_FALSE(ce.active());
+}
+
+TEST_F(MachineFixture, ClusterActiveCount)
+{
+    auto &cl = m.cluster(0);
+    EXPECT_EQ(cl.activeCount(), 0u);
+    cl.ce(0).compute(10, UserAct::serial, [] {});
+    cl.ce(3).compute(10, UserAct::serial, [] {});
+    EXPECT_EQ(cl.activeCount(), 2u);
+    m.eq().run();
+    EXPECT_EQ(cl.activeCount(), 0u);
+}
+
+TEST_F(MachineFixture, BusGathersAllParticipants)
+{
+    auto &cl = m.cluster(0);
+    cl.bus().expect(3);
+    int resumed = 0;
+    Tick resume_at = 0;
+    for (int j = 0; j < 3; ++j) {
+        m.eq().schedule(static_cast<Tick>(j * 100), [&, j] {
+            cl.bus().arrive(cl.ce(j), UserAct::iter_exec, [&] {
+                ++resumed;
+                resume_at = m.now();
+            });
+        });
+    }
+    m.eq().run();
+    EXPECT_EQ(resumed, 3);
+    // Everyone resumes after the last arrival plus the sync cost.
+    EXPECT_EQ(resume_at, 200 + m.costs().cdoall_sync);
+    // The earliest arriver waited ~200 ticks, accounted to the act.
+    EXPECT_GE(m.acct().ce(0).inUser(UserAct::iter_exec), 200u);
+}
+
+TEST_F(MachineFixture, QueueingStallTracksContention)
+{
+    // Two CEs streaming the same addresses: the later one observes
+    // queueing stall.
+    m.ce(0).globalAccess(0, 128, UserAct::iter_exec, [] {});
+    m.ce(1).globalAccess(0, 128, UserAct::iter_exec, [] {});
+    m.eq().run();
+    EXPECT_GT(m.ce(0).queueingStall() + m.ce(1).queueingStall(), 0u);
+}
+
+TEST(MachineSmall, OneProcessorConfigWorks)
+{
+    hw::Machine m{hw::CedarConfig::withProcs(1)};
+    bool done = false;
+    m.ce(0).globalAccess(0, 16, UserAct::iter_exec, [&] { done = true; });
+    m.eq().run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(m.ce(0).queueingStall(), 0u); // no one to contend with
+}
+
+} // namespace

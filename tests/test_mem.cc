@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the global memory substrate: address interleaving
+ * and the interleaved module array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+#include "mem/global_memory.hh"
+
+namespace
+{
+
+using namespace cedar;
+using cedar::sim::Tick;
+
+TEST(AddressMap, CedarGeometry)
+{
+    mem::AddressMap map;
+    EXPECT_EQ(map.numModules(), 32u);
+    EXPECT_EQ(map.groupSize(), 4u);
+    EXPECT_EQ(map.numGroups(), 8u);
+}
+
+TEST(AddressMap, ConsecutiveWordsHitConsecutiveModules)
+{
+    mem::AddressMap map;
+    for (sim::Addr a = 0; a < 100; ++a)
+        EXPECT_EQ(map.module(a), a % 32);
+}
+
+TEST(AddressMap, GroupChangesEveryGroupSizeWords)
+{
+    mem::AddressMap map;
+    EXPECT_EQ(map.group(0), 0u);
+    EXPECT_EQ(map.group(3), 0u);
+    EXPECT_EQ(map.group(4), 1u);
+    EXPECT_EQ(map.group(31), 7u);
+    EXPECT_EQ(map.group(32), 0u); // wraps around the modules
+}
+
+TEST(AddressMap, ChunkifyCoversRangeExactly)
+{
+    mem::AddressMap map;
+    const auto chunks = map.chunkify(2, 11);
+    unsigned total = 0;
+    sim::Addr expect = 2;
+    for (const auto &c : chunks) {
+        EXPECT_EQ(c.addr, expect);
+        EXPECT_LE(c.len, map.groupSize());
+        // All words of a chunk stay in one group.
+        EXPECT_EQ(map.group(c.addr), map.group(c.addr + c.len - 1));
+        expect += c.len;
+        total += c.len;
+    }
+    EXPECT_EQ(total, 11u);
+}
+
+TEST(AddressMap, AlignedChunkifyProducesFullChunks)
+{
+    mem::AddressMap map;
+    const auto chunks = map.chunkify(8, 16);
+    ASSERT_EQ(chunks.size(), 4u);
+    for (const auto &c : chunks)
+        EXPECT_EQ(c.len, 4u);
+}
+
+/** Property: chunkify is exact for arbitrary geometry and ranges. */
+struct ChunkCase
+{
+    unsigned modules;
+    unsigned group;
+    sim::Addr addr;
+    unsigned len;
+};
+
+class ChunkifyProperty : public ::testing::TestWithParam<ChunkCase>
+{
+};
+
+TEST_P(ChunkifyProperty, ExactCover)
+{
+    const auto p = GetParam();
+    mem::AddressMap map(p.modules, p.group);
+    sim::Addr next = p.addr;
+    unsigned total = 0;
+    for (const auto &c : map.chunkify(p.addr, p.len)) {
+        EXPECT_EQ(c.addr, next);
+        EXPECT_GE(c.len, 1u);
+        EXPECT_LE(c.len, p.group);
+        next += c.len;
+        total += c.len;
+    }
+    EXPECT_EQ(total, p.len);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ChunkifyProperty,
+    ::testing::Values(ChunkCase{32, 4, 0, 1}, ChunkCase{32, 4, 3, 2},
+                      ChunkCase{32, 4, 5, 64}, ChunkCase{16, 8, 7, 33},
+                      ChunkCase{8, 2, 1, 17}, ChunkCase{64, 4, 63, 128}));
+
+TEST(GlobalMemory, SingleWordTakesServiceTime)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    const auto res = gm.accessChunk(100, mem::Chunk{0, 1});
+    EXPECT_EQ(res.complete, 100 + mem::GlobalMemory::word_service);
+    EXPECT_EQ(res.wait, 0u);
+}
+
+TEST(GlobalMemory, ChunkWordsServeInParallelAcrossModules)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    // 4 aligned words land on 4 distinct modules: same latency as 1.
+    const auto res = gm.accessChunk(0, mem::Chunk{0, 4});
+    EXPECT_EQ(res.complete, mem::GlobalMemory::word_service);
+}
+
+TEST(GlobalMemory, SameModuleBackToBackQueues)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    gm.accessChunk(0, mem::Chunk{0, 1});
+    const auto res = gm.accessChunk(0, mem::Chunk{32, 1}); // same module
+    EXPECT_EQ(res.complete, 2 * mem::GlobalMemory::word_service);
+    EXPECT_GT(res.wait, 0u);
+}
+
+TEST(GlobalMemory, DifferentModulesDoNotInterfere)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    gm.accessChunk(0, mem::Chunk{0, 1});
+    const auto res = gm.accessChunk(0, mem::Chunk{1, 1});
+    EXPECT_EQ(res.complete, mem::GlobalMemory::word_service);
+    EXPECT_EQ(res.wait, 0u);
+}
+
+TEST(GlobalMemory, RmwAppliesFunctionInServiceOrder)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    std::uint64_t old1 = 0, old2 = 0;
+    gm.rmw(0, 7, [](std::uint64_t v) { return v + 5; }, &old1);
+    gm.rmw(0, 7, [](std::uint64_t v) { return v * 2; }, &old2);
+    EXPECT_EQ(old1, 0u);
+    EXPECT_EQ(old2, 5u);
+    EXPECT_EQ(gm.peek(7), 10u);
+}
+
+TEST(GlobalMemory, RmwIsSlowerThanRead)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    const auto res = gm.rmw(0, 3, [](std::uint64_t v) { return v; });
+    EXPECT_EQ(res.complete, mem::GlobalMemory::rmw_service);
+}
+
+TEST(GlobalMemory, HotSpotSerializesOnOneModule)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    sim::Tick last = 0;
+    for (int i = 0; i < 10; ++i) {
+        const auto res =
+            gm.rmw(0, 11, [](std::uint64_t v) { return v + 1; });
+        EXPECT_GT(res.complete, last);
+        last = res.complete;
+    }
+    EXPECT_EQ(last, 10 * mem::GlobalMemory::rmw_service);
+    EXPECT_EQ(gm.peek(11), 10u);
+}
+
+TEST(GlobalMemory, PokeAndPeek)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    EXPECT_EQ(gm.peek(99), 0u);
+    gm.poke(99, 1234);
+    EXPECT_EQ(gm.peek(99), 1234u);
+}
+
+TEST(GlobalMemory, WaitAndBusyAggregates)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    gm.accessChunk(0, mem::Chunk{0, 4});
+    gm.accessChunk(0, mem::Chunk{32, 4}); // same 4 modules again
+    EXPECT_EQ(gm.totalBusyTicks(), 8 * mem::GlobalMemory::word_service);
+    EXPECT_EQ(gm.totalWaitTicks(), 4 * mem::GlobalMemory::word_service);
+}
+
+TEST(GlobalMemory, ResetRestoresPristineState)
+{
+    mem::AddressMap map;
+    mem::GlobalMemory gm(map);
+    gm.poke(5, 77);
+    gm.accessChunk(0, mem::Chunk{0, 4});
+    gm.reset();
+    EXPECT_EQ(gm.peek(5), 0u);
+    EXPECT_EQ(gm.totalBusyTicks(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the measurement-methodology premises the paper's
+ * Section 7 equations rest on. If any of these break, Table 3/4
+ * stop being meaningful, so they are pinned explicitly:
+ *
+ *  - during serial execution the machine concurrency is 1 per
+ *    cluster (main lead computing, helper leads spinning);
+ *  - spin polling generates negligible network contention;
+ *  - every configuration has the same minimum memory latency;
+ *  - the 1-processor run gives the minimum total processing time
+ *    for the loop code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/workload.hh"
+#include "core/concurrency.hh"
+#include "core/experiment.hh"
+#include "hw/machine.hh"
+#include "os/xylem.hh"
+#include "rtl/runtime.hh"
+
+namespace
+{
+
+using namespace cedar;
+using apps::AppModel;
+using apps::LoopKind;
+using apps::LoopSpec;
+using apps::SerialSpec;
+
+AppModel
+serialOnlyApp()
+{
+    AppModel app;
+    app.name = "serial-only";
+    app.steps = 6;
+    SerialSpec s;
+    s.compute = 200000;
+    s.pages = 2;
+    app.phases.push_back(s);
+    // One tiny loop so the helpers have a reason to exist.
+    LoopSpec l;
+    l.kind = LoopKind::sdoall;
+    l.outerIters = 4;
+    l.innerIters = 8;
+    l.computePerIter = 200;
+    l.regionWords = 1 << 14;
+    app.phases.push_back(l);
+    return app;
+}
+
+TEST(Premises, ConcurrencyIsOnePerClusterDuringSerialCode)
+{
+    // "The concurrency during non-parallel work ... is 1 on each
+    // cluster": the main lead executes serial code while each
+    // helper lead spin-waits; all other CEs are idle.
+    const auto r32 = core::runExperiment(serialOnlyApp(), 32);
+    // Serial work dominates: machine concurrency ~ 4 (1/cluster).
+    EXPECT_GT(r32.machineConcurrency, 3.0);
+    EXPECT_LT(r32.machineConcurrency, 5.2);
+
+    const auto r8 = core::runExperiment(serialOnlyApp(), 8);
+    EXPECT_GT(r8.machineConcurrency, 0.9);
+    EXPECT_LT(r8.machineConcurrency, 1.6);
+}
+
+TEST(Premises, SpinWaitingGeneratesNegligibleContention)
+{
+    // A machine full of spinning helpers must not slow the main
+    // task's memory traffic: the serial-only app's CT on 32
+    // processors is no worse than on 8 (same serial work, more
+    // spinners).
+    const auto r8 = core::runExperiment(serialOnlyApp(), 8);
+    const auto r32 = core::runExperiment(serialOnlyApp(), 32);
+    EXPECT_LT(static_cast<double>(r32.ct),
+              1.10 * static_cast<double>(r8.ct));
+}
+
+TEST(Premises, SerialExecutionBoundsParallelFraction)
+{
+    const auto r = core::runExperiment(serialOnlyApp(), 32);
+    const auto t = core::taskConcurrency(r, 0);
+    EXPECT_LT(t.pf, 0.2); // nearly everything is serial
+}
+
+TEST(Premises, UniprocessorLoopTimeIsMinimalProcessingTime)
+{
+    // The total CPU time spent executing loop bodies on N
+    // processors can never undercut the 1-processor loop time
+    // (contention only adds).
+    AppModel app;
+    app.name = "looponly";
+    app.steps = 4;
+    LoopSpec l;
+    l.kind = LoopKind::sdoall;
+    l.outerIters = 12;
+    l.innerIters = 32;
+    l.computePerIter = 900;
+    l.words = 128;
+    l.regionWords = 1 << 16;
+    app.phases.push_back(l);
+
+    const auto uni = core::runExperiment(app, 1);
+    const sim::Tick t1 =
+        uni.totalAcct.inUser(os::UserAct::iter_exec);
+    for (unsigned procs : {8u, 32u}) {
+        const auto r = core::runExperiment(app, procs);
+        const sim::Tick tn =
+            r.totalAcct.inUser(os::UserAct::iter_exec);
+        EXPECT_GE(tn + tn / 20, t1)
+            << procs << " proc total loop CPU time undercut 1 proc";
+    }
+}
+
+TEST(Premises, ContentionEstimatorUsesMainClusterWindows)
+{
+    // pf for the main task includes main-cluster-only loops;
+    // helpers never accumulate mc window time.
+    AppModel app;
+    app.name = "mc";
+    app.steps = 3;
+    LoopSpec mc;
+    mc.kind = LoopKind::mc_cdoall;
+    mc.outerIters = 64;
+    mc.computePerIter = 500;
+    mc.regionWords = 1 << 14;
+    app.phases.push_back(mc);
+    LoopSpec sx;
+    sx.kind = LoopKind::sdoall;
+    sx.outerIters = 8;
+    sx.innerIters = 16;
+    sx.computePerIter = 500;
+    sx.regionWords = 1 << 14;
+    app.phases.push_back(sx);
+
+    const auto r = core::runExperiment(app, 32);
+    EXPECT_GT(r.windows[0].mcWall, 0u);
+    EXPECT_GT(r.windows[0].sxWall, 0u);
+    for (unsigned c = 1; c < 4; ++c)
+        EXPECT_EQ(r.windows[c].mcWall, 0u);
+
+    const auto main_task = core::taskConcurrency(r, 0);
+    const auto helper = core::taskConcurrency(r, 1);
+    // Main's parallel fraction includes the mc loop, helpers' only
+    // the spread loop.
+    EXPECT_GT(main_task.pf, helper.pf);
+}
+
+TEST(Premises, JitterFreeDivisibleLoopsReachFullParallelConcurrency)
+{
+    AppModel app;
+    app.name = "perfect-shape";
+    app.steps = 3;
+    LoopSpec l;
+    l.kind = LoopKind::sdoall;
+    l.outerIters = 16; // divisible by 4 clusters
+    l.innerIters = 64; // divisible by 8 CEs
+    l.computePerIter = 2000;
+    l.jitterFrac = 0.0;
+    l.regionWords = 1 << 15;
+    app.phases.push_back(l);
+
+    const auto r = core::runExperiment(app, 32);
+    for (unsigned c = 0; c < 4; ++c) {
+        const auto t = core::taskConcurrency(r, c);
+        EXPECT_GT(t.parConcurr, 7.3) << "cluster " << c;
+    }
+}
+
+TEST(Premises, UndividableInnerCountLowersParallelConcurrency)
+{
+    AppModel app;
+    app.name = "ragged";
+    app.steps = 3;
+    LoopSpec l;
+    l.kind = LoopKind::sdoall;
+    l.outerIters = 16;
+    l.innerIters = 9; // chunk 2: 5 CEs busy, 3 idle
+    l.computePerIter = 2000;
+    l.jitterFrac = 0.0;
+    l.regionWords = 1 << 15;
+    app.phases.push_back(l);
+
+    const auto r = core::runExperiment(app, 32);
+    const auto t = core::taskConcurrency(r, 0);
+    EXPECT_LT(t.parConcurr, 6.0);
+}
+
+} // namespace

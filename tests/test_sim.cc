@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, random
+ * generator, statistics helpers and the FIFO server.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/fifo_server.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+using namespace cedar::sim;
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, BreaksTiesByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_THROW(eq.schedule(5, [] {}), std::logic_error);
+    });
+    eq.run();
+}
+
+TEST(EventQueue, RunHonorsEventLimit)
+{
+    EventQueue eq;
+    std::function<void()> forever = [&] { eq.scheduleIn(1, forever); };
+    eq.schedule(0, forever);
+    EXPECT_FALSE(eq.run(1000));
+    EXPECT_EQ(eq.executed(), 1000u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, ResetClearsStateAndTime)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(Random, DeterministicForSameSeed)
+{
+    RandomGen a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    RandomGen a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, BelowStaysInBounds)
+{
+    RandomGen g(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(g.below(13), 13u);
+}
+
+TEST(Random, RangeIsInclusive)
+{
+    RandomGen g(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = g.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    RandomGen g(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = g.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, ExponentialHasRoughlyRequestedMean)
+{
+    RandomGen g(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(g.exponential(1000.0));
+    EXPECT_NEAR(sum / n, 1000.0, 50.0);
+}
+
+TEST(Random, ForkDecorrelates)
+{
+    RandomGen a(5);
+    RandomGen b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Accumulator, TracksMeanMinMax)
+{
+    Accumulator acc;
+    acc.sample(2);
+    acc.sample(4);
+    acc.sample(9);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(ServerStats, AccumulatesWaitAndBusy)
+{
+    ServerStats st;
+    st.record(5, 10);
+    st.record(0, 20);
+    EXPECT_EQ(st.requests(), 2u);
+    EXPECT_EQ(st.waitTicks(), 5u);
+    EXPECT_EQ(st.busyTicks(), 30u);
+    EXPECT_DOUBLE_EQ(st.meanWait(), 2.5);
+    EXPECT_DOUBLE_EQ(st.utilization(60), 0.5);
+}
+
+TEST(Histogram, PercentilesAreMonotone)
+{
+    Histogram h(10, 32);
+    for (Tick v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.95));
+    EXPECT_EQ(h.maxSample(), 99u);
+    EXPECT_FALSE(h.toString().empty());
+}
+
+TEST(Histogram, OverflowGoesToLastBucket)
+{
+    Histogram h(1, 4);
+    h.sample(1000);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(FifoServer, IdleServerStartsImmediately)
+{
+    FifoServer s;
+    EXPECT_EQ(s.serve(100, 10), 110u);
+    EXPECT_EQ(s.stats().waitTicks(), 0u);
+}
+
+TEST(FifoServer, BusyServerQueues)
+{
+    FifoServer s;
+    s.serve(0, 10);
+    EXPECT_EQ(s.serve(5, 10), 20u);
+    EXPECT_EQ(s.stats().waitTicks(), 5u);
+}
+
+TEST(FifoServer, GapLeavesServerIdle)
+{
+    FifoServer s;
+    s.serve(0, 10);
+    EXPECT_EQ(s.serve(50, 10), 60u);
+    EXPECT_EQ(s.stats().waitTicks(), 0u);
+    EXPECT_EQ(s.stats().busyTicks(), 20u);
+}
+
+TEST(FifoServer, ResetClearsTimeline)
+{
+    FifoServer s;
+    s.serve(0, 100);
+    s.reset();
+    EXPECT_EQ(s.freeAt(), 0u);
+    EXPECT_EQ(s.serve(0, 5), 5u);
+}
+
+/** Property: a FIFO server's completions are monotone in arrival
+ *  order regardless of service times. */
+class FifoServerProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FifoServerProperty, CompletionsMonotone)
+{
+    RandomGen g(GetParam());
+    FifoServer s;
+    Tick arrival = 0;
+    Tick last = 0;
+    for (int i = 0; i < 200; ++i) {
+        arrival += g.below(20);
+        const Tick done = s.serve(arrival, 1 + g.below(15));
+        EXPECT_GE(done, last);
+        EXPECT_GT(done, arrival);
+        last = done;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FifoServerProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(Types, TickSecondsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(secondsToTicks(1.5)), 1.5);
+    EXPECT_EQ(secondsToTicks(1.0, 1e6), 1000000u);
+}
+
+} // namespace

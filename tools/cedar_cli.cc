@@ -1,0 +1,346 @@
+/**
+ * @file
+ * cedar-cli: command-line driver for the simulator.
+ *
+ * Subcommands:
+ *   run      — run one application on one configuration and print
+ *              the full characterization (breakdowns, concurrency,
+ *              contention, counters).
+ *   sweep    — run the paper's 1/4/8/16/32 sweep and print the
+ *              Table-1-style summary.
+ *   trace    — run with cedarhpm enabled and write the trace file.
+ *   apps     — list the built-in application models.
+ *
+ * Examples:
+ *   cedar_cli run FLO52 32
+ *   cedar_cli run MDG 8 --seed 7 --scale 0.5 --prefetch
+ *   cedar_cli sweep ADM
+ *   cedar_cli trace OCEAN 16 /tmp/ocean.chpm
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/parser.hh"
+#include "apps/perfect.hh"
+#include "core/breakdown.hh"
+#include "core/concurrency.hh"
+#include "core/contention.hh"
+#include "core/experiment.hh"
+#include "core/profile.hh"
+#include "core/table.hh"
+#include "hpm/trace.hh"
+
+using namespace cedar;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  cedar_cli run      <app> <procs> [--seed N] [--scale F]\n"
+           "                     [--prefetch] [--pickup-block N]\n"
+           "                     [--ctx-coop] [--fuse]\n"
+           "  cedar_cli run-file <workload.txt> <procs> [flags]\n"
+           "  cedar_cli sweep    <app> [--seed N] [--scale F]\n"
+           "  cedar_cli trace    <app> <procs> <outfile>\n"
+           "  cedar_cli profile  <app> <procs>\n"
+           "  cedar_cli apps\n"
+           "\napps: FLO52 ARC2D MDG OCEAN ADM\n"
+           "procs: 1, 4, 8, 16 or 32\n";
+    return 2;
+}
+
+struct Flags
+{
+    core::RunOptions opts;
+    bool prefetch = false;
+    unsigned pickupBlock = 1;
+    bool fuse = false;
+};
+
+bool
+parseFlags(const std::vector<std::string> &args, std::size_t from,
+           Flags &f)
+{
+    for (std::size_t i = from; i < args.size(); ++i) {
+        const auto &a = args[i];
+        auto next = [&](double &out) {
+            if (i + 1 >= args.size())
+                return false;
+            out = std::stod(args[++i]);
+            return true;
+        };
+        double v = 0;
+        if (a == "--seed" && next(v)) {
+            f.opts.seed = static_cast<std::uint64_t>(v);
+        } else if (a == "--scale" && next(v)) {
+            f.opts.scale = v;
+        } else if (a == "--pickup-block" && next(v)) {
+            f.pickupBlock = static_cast<unsigned>(v);
+        } else if (a == "--prefetch") {
+            f.prefetch = true;
+        } else if (a == "--ctx-coop") {
+            f.opts.ctxRtlCoop = true;
+        } else if (a == "--fuse") {
+            f.fuse = true;
+        } else {
+            std::cerr << "unknown flag: " << a << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+apps::AppModel
+buildApp(const std::string &name, const Flags &f)
+{
+    apps::AppModel app = apps::perfectAppByName(name);
+    if (f.fuse)
+        app = apps::withFusedLoops(app);
+    if (f.prefetch || f.pickupBlock > 1) {
+        for (auto &phase : app.phases) {
+            if (auto *l = std::get_if<apps::LoopSpec>(&phase)) {
+                l->prefetch = f.prefetch;
+                l->pickupBlock = f.pickupBlock;
+            }
+        }
+    }
+    return app;
+}
+
+void
+printRun(const core::RunResult &r, const core::RunResult *uni)
+{
+    std::cout << r.app << " on " << r.nprocs << " processors ("
+              << r.nClusters << " cluster(s))\n\n";
+    std::cout << "completion time: " << core::Table::num(r.seconds(), 3)
+              << " s (" << r.ct << " cycles)\n";
+    if (uni && uni->ct != r.ct) {
+        std::cout << "speedup vs 1 proc: "
+                  << core::Table::num(uni->seconds() / r.seconds(), 2)
+                  << "\n";
+    }
+    std::cout << "average concurrency: "
+              << core::Table::num(r.machineConcurrency, 2) << "\n\n";
+
+    const auto cb = core::ctBreakdownTotal(r);
+    std::cout << "completion-time breakdown (Q view): user "
+              << core::Table::num(cb.userPct, 1) << "%, system "
+              << core::Table::num(cb.systemPct, 2) << "%, interrupt "
+              << core::Table::num(cb.interruptPct, 2) << "%, spin "
+              << core::Table::num(cb.kspinPct, 2) << "%\n\n";
+
+    std::cout << "OS activity detail (% of CT):\n";
+    for (const auto &row : core::osActivityTable(r)) {
+        if (row.pctOfCt < 0.005)
+            continue;
+        std::cout << "  " << toString(row.act) << ": "
+                  << core::Table::num(row.pctOfCt, 2) << "%\n";
+    }
+
+    std::cout << "\nper-task user-time breakdown (% of CT):\n";
+    core::Table t({"task", "serial", "mc loop", "iters", "setup",
+                   "pickup", "barrier", "wait"});
+    for (unsigned c = 0; c < r.nClusters; ++c) {
+        const auto ub = core::userBreakdown(r, c);
+        auto p = [&](os::UserAct a) {
+            return core::Table::num(ub.pctOf(a, r.ct), 1);
+        };
+        t.addRow({c == 0 ? "main" : "helper" + std::to_string(c),
+                  p(os::UserAct::serial), p(os::UserAct::mc_loop),
+                  p(os::UserAct::iter_exec), p(os::UserAct::loop_setup),
+                  p(os::UserAct::iter_pickup),
+                  p(os::UserAct::barrier_wait),
+                  p(os::UserAct::helper_wait)});
+    }
+    t.print(std::cout);
+
+    if (uni && uni->ct != r.ct) {
+        const auto d = core::decomposeCompletionTime(r, *uni);
+        std::cout << "\ncompletion-time closure (main task): serial "
+                  << core::Table::num(d.serialPct, 1) << "% + ideal loop "
+                  << core::Table::num(d.loopIdealPct, 1)
+                  << "% + contention "
+                  << core::Table::num(d.contentionPct, 1)
+                  << "% + barrier " << core::Table::num(d.barrierPct, 1)
+                  << "% + setup " << core::Table::num(d.setupPct, 1)
+                  << "% + residual "
+                  << core::Table::num(d.residualPct, 1) << "%\n";
+        const auto e = core::estimateContention(r, *uni);
+        std::cout << "\ncontention (paper method): Tp_actual "
+                  << core::Table::num(e.tpActualSec, 3) << " s, Tp_ideal "
+                  << core::Table::num(e.tpIdealSec, 3) << " s, Ov_cont "
+                  << core::Table::num(e.ovContPct, 1) << "% of CT\n";
+        std::cout << "contention (ground truth queueing): "
+                  << core::Table::num(
+                         core::groundTruthContentionPct(r), 1)
+                  << "% of CT\n";
+    }
+
+    std::cout << "\ncounters: " << r.rtlStats.loopsPosted
+              << " loops posted, " << r.rtlStats.bodiesExecuted
+              << " bodies, " << r.seqFaults << "+" << r.concFaults
+              << " page faults (seq+conc), " << r.osStats.cpis
+              << " CPIs, " << r.osStats.ctxSwitches
+              << " context switches, " << r.globalWords
+              << " global words moved\n";
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    if (args.size() < 4)
+        return usage();
+    Flags f;
+    if (!parseFlags(args, 4, f))
+        return usage();
+    const auto app = buildApp(args[2], f);
+    const unsigned procs = static_cast<unsigned>(std::stoul(args[3]));
+    const auto uni = core::runExperiment(app, 1, f.opts);
+    const auto r = procs == 1 ? uni
+                              : core::runExperiment(app, procs, f.opts);
+    printRun(r, &uni);
+    return 0;
+}
+
+int
+cmdRunFile(const std::vector<std::string> &args)
+{
+    if (args.size() < 4)
+        return usage();
+    Flags f;
+    if (!parseFlags(args, 4, f))
+        return usage();
+    const auto app = apps::parseWorkloadFile(args[2]);
+    const unsigned procs = static_cast<unsigned>(std::stoul(args[3]));
+    const auto uni = core::runExperiment(app, 1, f.opts);
+    const auto r = procs == 1 ? uni
+                              : core::runExperiment(app, procs, f.opts);
+    printRun(r, &uni);
+    return 0;
+}
+
+int
+cmdSweep(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return usage();
+    Flags f;
+    if (!parseFlags(args, 3, f))
+        return usage();
+    const auto app = buildApp(args[2], f);
+    const auto sweep = core::runSweep(app, f.opts);
+
+    core::Table t({"config", "CT (s)", "speedup", "concurr", "OS %",
+                   "main ovh %", "Ov_cont %"});
+    for (const auto &r : sweep) {
+        const auto e = core::estimateContention(r, sweep.front());
+        t.addRow({std::to_string(r.nprocs) + " proc",
+                  core::Table::num(r.seconds(), 3),
+                  core::Table::num(sweep.front().seconds() / r.seconds(),
+                                   2),
+                  core::Table::num(r.machineConcurrency, 2),
+                  core::Table::num(
+                      core::ctBreakdownTotal(r).osTotalPct(), 1),
+                  core::Table::num(
+                      core::userBreakdown(r, 0).overheadPct(r.ct), 1),
+                  core::Table::num(e.ovContPct, 1)});
+    }
+    std::cout << app.name << " configuration sweep\n\n";
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdTrace(const std::vector<std::string> &args)
+{
+    if (args.size() < 5)
+        return usage();
+    const auto app = apps::perfectAppByName(args[2]);
+    const unsigned procs = static_cast<unsigned>(std::stoul(args[3]));
+    core::RunOptions opts;
+    opts.collectTrace = true;
+    const auto r = core::runExperiment(app, procs, opts);
+
+    hpm::Trace t;
+    for (const auto &rec : r.trace)
+        t.post(rec.when, rec.ce, rec.id(), rec.arg);
+    t.writeFile(args[4]);
+    std::cout << "wrote " << r.trace.size() << " records to " << args[4]
+              << "\n";
+    return 0;
+}
+
+int
+cmdProfile(const std::vector<std::string> &args)
+{
+    if (args.size() < 4)
+        return usage();
+    const auto app = apps::perfectAppByName(args[2]);
+    const unsigned procs = static_cast<unsigned>(std::stoul(args[3]));
+    core::RunOptions opts;
+    opts.collectTrace = true;
+    const auto r = core::runExperiment(app, procs, opts);
+    const auto profile = core::profileLoopPhases(r);
+    std::cout << app.name << " loop-phase profile on " << procs
+              << " processors (CT "
+              << core::Table::num(r.seconds(), 3) << " s)\n\n";
+    core::printLoopProfile(std::cout, r, profile);
+    std::cout << "\nPhase numbers index the application's phase list "
+                 "(cedar_cli apps).\nHigh barrier % -> a fusion "
+                 "candidate; high pickup CPU on an xdoall ->\na "
+                 "stripmining/chunking candidate (paper Section 6).\n";
+    return 0;
+}
+
+int
+cmdApps()
+{
+    for (const auto &app : apps::allPerfectApps()) {
+        std::cout << app.name << ": " << app.steps << " steps, "
+                  << app.phases.size() << " phases ("
+                  << app.countLoops(apps::LoopKind::sdoall)
+                  << " sdoall, "
+                  << app.countLoops(apps::LoopKind::xdoall)
+                  << " xdoall, "
+                  << app.countLoops(apps::LoopKind::mc_cdoall)
+                  << " mc cdoall, "
+                  << app.countLoops(apps::LoopKind::cdoacross)
+                  << " cdoacross per step)\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    if (args.size() < 2)
+        return usage();
+    try {
+        if (args[1] == "run")
+            return cmdRun(args);
+        if (args[1] == "run-file")
+            return cmdRunFile(args);
+        if (args[1] == "sweep")
+            return cmdSweep(args);
+        if (args[1] == "trace")
+            return cmdTrace(args);
+        if (args[1] == "profile")
+            return cmdProfile(args);
+        if (args[1] == "apps")
+            return cmdApps();
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
