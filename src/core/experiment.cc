@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include "fault/injector.hh"
 #include "hw/machine.hh"
 
 namespace cedar::core
@@ -12,6 +13,9 @@ runExperiment(const apps::AppModel &app, unsigned nprocs,
     hw::CedarConfig cfg = hw::CedarConfig::withProcs(nprocs);
     cfg.seed = opts.seed;
     cfg.costs.ctx_rtl_coop = opts.ctxRtlCoop;
+    cfg.costs.gm_timeout = opts.gmTimeout;
+    cfg.costs.gm_retry_backoff = opts.gmRetryBackoff;
+    cfg.costs.gm_max_retries = opts.gmMaxRetries;
 
     hw::Machine m(cfg);
     m.trace().setEnabled(opts.collectTrace);
@@ -19,7 +23,11 @@ runExperiment(const apps::AppModel &app, unsigned nprocs,
     const apps::AppModel model =
         opts.scale < 1.0 ? app.scaled(opts.scale) : app;
     rtl::Runtime rt(m, model);
-    rt.run(opts.eventLimit);
+
+    fault::FaultInjector injector(m, opts.faults);
+    injector.arm([&rt] { return rt.finished(); });
+
+    rt.run(opts.eventLimit, opts.watchdogEvents);
 
     RunResult r;
     r.app = app.name;
@@ -28,6 +36,9 @@ runExperiment(const apps::AppModel &app, unsigned nprocs,
     r.cesPerCluster = cfg.cesPerCluster;
     r.clockHz = cfg.clockHz;
     r.ct = rt.completionTime();
+    r.status = rt.status();
+    r.faultLog = m.faultLog();
+    r.faultsInjected = r.faultLog.injected();
 
     for (unsigned c = 0; c < cfg.nClusters; ++c) {
         r.clusterAcct.push_back(
@@ -49,6 +60,9 @@ runExperiment(const apps::AppModel &app, unsigned nprocs,
         const auto &ce = m.ce(static_cast<sim::CeId>(i));
         r.ceQueueStall += ce.queueingStall();
         r.globalWords += ce.globalWords();
+        r.accessesDegraded += ce.degradedAccesses();
+        if (ce.parked())
+            ++r.parkedCes;
     }
     r.resourceWait = m.net().totalWaitTicks();
 

@@ -14,11 +14,13 @@
 #include <vector>
 
 #include "apps/workload.hh"
+#include "fault/fault.hh"
 #include "hpm/trace.hh"
 #include "hw/config.hh"
 #include "os/accounting.hh"
 #include "os/xylem.hh"
 #include "rtl/runtime.hh"
+#include "sim/error.hh"
 #include "sim/types.hh"
 
 namespace cedar::core
@@ -34,6 +36,15 @@ struct RunResult
     double clockHz = sim::default_clock_hz;
 
     sim::Tick ct = 0; //!< completion time, ticks
+
+    /** How the run terminated (never silently truncated). */
+    sim::RunStatus status = sim::RunStatus::Completed;
+
+    /** Every delivered perturbation and resilience consequence. */
+    fault::FaultLog faultLog;
+    std::uint64_t faultsInjected = 0;   //!< perturbations delivered
+    std::uint64_t accessesDegraded = 0; //!< fallback-path accesses
+    unsigned parkedCes = 0;             //!< CEs hung on dead modules
 
     /** Per-cluster and machine-total accounting aggregates. */
     std::vector<os::CeAccount> clusterAcct;
@@ -100,6 +111,17 @@ struct RunOptions
     std::uint64_t eventLimit = 500'000'000ULL;
     /** Enable the Section-5.1 context-switch/RTL cooperation. */
     bool ctxRtlCoop = false;
+
+    /** Fault plan injected into the run (see docs/FAULTS.md). */
+    std::vector<fault::FaultSpec> faults;
+    /** Livelock watchdog threshold (events without time advance). */
+    std::uint64_t watchdogEvents = sim::Watchdog::default_stall_events;
+    /** Dead-module access timeout; 0 parks the CE (stock machine). */
+    sim::Tick gmTimeout = 0;
+    /** Base backoff per dead-module retry (doubles each attempt). */
+    sim::Tick gmRetryBackoff = 2000;
+    /** Retries before a dead-module access takes the fallback. */
+    unsigned gmMaxRetries = 3;
 };
 
 /**

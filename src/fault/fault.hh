@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fault-injection plans and the fault log.
+ *
+ * A FaultSpec describes one deliberate, seeded perturbation of the
+ * simulated machine — a degraded or dead memory module, a stalled
+ * network switch, a flaky CE, an interrupt storm — parsed from a
+ * compact CLI spec string (grammar in docs/FAULTS.md):
+ *
+ *   module:<m>:degrade:<F>x[:@<t0>[-<t1>]]
+ *   module:<m>:stuck[:@<t0>[-<t1>]]
+ *   switch:stage1|stage2:<s>:stall:<ticks>[:@<t0>]
+ *   ce:<c>:hiccup:p=<prob>[:cost=<ticks>][:@<t0>[-<t1>]]
+ *   os:intr-storm:cluster<c>[:n=<count>][:@<t0>]
+ *
+ * Every perturbation actually delivered during a run — and every
+ * consequence the resilience layer observed (request timeouts,
+ * abandoned accesses, parked CEs) — is recorded in the FaultLog,
+ * which flows into the experiment's RunResult. Injection is fully
+ * deterministic for a given seed + plan, so faulted runs are exactly
+ * reproducible.
+ */
+
+#ifndef CEDAR_FAULT_FAULT_HH
+#define CEDAR_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cedar::fault
+{
+
+/**
+ * Kinds of fault events. The first five are injectable
+ * perturbations (valid in a FaultSpec); the rest are consequences
+ * recorded by the resilience layer when the machine reacts to them.
+ */
+enum class FaultKind
+{
+    // ----- injectable -----
+    module_degrade, //!< memory module serves N times slower
+    module_stuck,   //!< memory module stops serving entirely
+    switch_stall,   //!< network switch blocks all ports for a while
+    ce_hiccup,      //!< CE takes random interrupt-like stalls
+    intr_storm,     //!< burst of cross-processor interrupts
+    // ----- observed consequences -----
+    access_timeout,   //!< a global access timed out and was retried
+    access_abandoned, //!< retries exhausted; access gave up (degraded)
+    access_parked,    //!< no timeout path; the CE is stuck forever
+};
+
+const char *toString(FaultKind k);
+
+/** True for kinds that may appear in a FaultSpec. */
+bool isInjectable(FaultKind k);
+
+/** One planned perturbation. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::module_degrade;
+    unsigned index = 0;    //!< module / switch / CE / cluster index
+    unsigned stage = 2;    //!< switch faults: network stage (1 or 2)
+    unsigned factor = 1;   //!< module_degrade: service multiplier
+    sim::Tick duration = 0; //!< switch_stall: stall; ce_hiccup: cost
+    double prob = 0.0;     //!< ce_hiccup: per-tick hiccup probability
+    unsigned count = 0;    //!< intr_storm: number of CPIs in the burst
+    sim::Tick from = 0;            //!< activation tick
+    sim::Tick until = sim::max_tick; //!< deactivation tick (exclusive)
+    std::string text;      //!< original spec string, for reports
+};
+
+/**
+ * Parse one CLI fault spec (see file comment for the grammar).
+ * Structural validation only; index ranges are checked against the
+ * actual machine by FaultInjector::arm().
+ *
+ * @throws sim::FaultSpecError on malformed input.
+ */
+FaultSpec parseFaultSpec(const std::string &spec);
+
+/** One delivered perturbation or observed consequence. */
+struct FaultEvent
+{
+    sim::Tick tick = 0;
+    FaultKind kind = FaultKind::module_degrade;
+    int target = -1;        //!< module/switch/cluster index, or CE id
+    std::uint64_t arg = 0;  //!< detail: factor, duration, count, addr
+
+    bool
+    operator==(const FaultEvent &o) const
+    {
+        return tick == o.tick && kind == o.kind && target == o.target &&
+               arg == o.arg;
+    }
+};
+
+/** Append-only record of everything fault-related in one run. */
+class FaultLog
+{
+  public:
+    void record(const FaultEvent &e) { events_.push_back(e); }
+
+    const std::vector<FaultEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+    std::uint64_t count(FaultKind k) const;
+
+    /** Perturbations actually delivered. */
+    std::uint64_t injected() const;
+
+    /** Timeouts + abandoned accesses + parked CEs. */
+    std::uint64_t degraded() const;
+
+    void clear() { events_.clear(); }
+
+    /** Human-readable dump, one line per event. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace cedar::fault
+
+#endif // CEDAR_FAULT_FAULT_HH

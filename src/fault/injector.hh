@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Arms a fault plan against a live machine.
+ *
+ * The FaultInjector owns no simulation state of its own: each spec
+ * is translated into the machine's native mechanisms — module
+ * service-time faults in GlobalMemory, port reservations in the
+ * Network's crossbars, interrupt charges on CEs, CPI bursts through
+ * Xylem — delivered via the ordinary event queue so faulted runs
+ * remain deterministic and observable through the usual accounting.
+ */
+
+#ifndef CEDAR_FAULT_INJECTOR_HH
+#define CEDAR_FAULT_INJECTOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "sim/random.hh"
+
+namespace cedar::hw
+{
+class Machine;
+}
+
+namespace cedar::fault
+{
+
+/** Translates FaultSpecs into scheduled machine perturbations. */
+class FaultInjector
+{
+  public:
+    /** Predicate consulted by recurring faults; true stops them. */
+    using StopFn = std::function<bool()>;
+
+    FaultInjector(hw::Machine &m, std::vector<FaultSpec> specs);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    const std::vector<FaultSpec> &specs() const { return specs_; }
+
+    /**
+     * Validate every spec against the machine's geometry and
+     * schedule the perturbations. Recurring faults (hiccups,
+     * storms) stop rescheduling once @p stop returns true, so the
+     * event queue can drain after the program finishes.
+     *
+     * @throws sim::FaultSpecError when an index is out of range.
+     */
+    void arm(StopFn stop);
+
+  private:
+    void armModule(const FaultSpec &f);
+    void armSwitch(const FaultSpec &f);
+    void armHiccup(const FaultSpec &f);
+    void armStorm(const FaultSpec &f);
+
+    void scheduleHiccup(const FaultSpec &f, sim::RandomGen rng);
+    void stormTick(const FaultSpec &f, unsigned remaining);
+
+    bool stopped() const { return stop_ && stop_(); }
+
+    hw::Machine &m_;
+    std::vector<FaultSpec> specs_;
+    sim::RandomGen rng_;
+    StopFn stop_;
+};
+
+} // namespace cedar::fault
+
+#endif // CEDAR_FAULT_INJECTOR_HH

@@ -73,6 +73,22 @@ Trace::readFile(const std::string &path)
         throw std::runtime_error("Trace::readFile: bad magic in " + path);
     std::uint64_t n = 0;
     f.read(reinterpret_cast<char *>(&n), sizeof(n));
+    if (!f)
+        throw std::runtime_error("Trace::readFile: truncated " + path);
+
+    // Validate the record count against the actual payload size
+    // before allocating anything: a corrupt header must not turn
+    // into a multi-gigabyte allocation.
+    const std::streamoff payload_start = f.tellg();
+    f.seekg(0, std::ios::end);
+    const std::streamoff payload_bytes = f.tellg() - payload_start;
+    f.seekg(payload_start);
+    const auto avail = static_cast<std::uint64_t>(
+        payload_bytes < 0 ? 0 : payload_bytes);
+    if (avail % sizeof(Record) != 0 || n != avail / sizeof(Record))
+        throw std::runtime_error(
+            "Trace::readFile: corrupt record count in " + path);
+
     std::vector<Record> out(n);
     f.read(reinterpret_cast<char *>(out.data()),
            static_cast<std::streamsize>(n * sizeof(Record)));

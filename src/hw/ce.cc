@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "fault/fault.hh"
 #include "hpm/trace.hh"
 
 namespace cedar::hw
@@ -87,8 +88,27 @@ Ce::globalAccess(sim::Addr addr, unsigned words, os::UserAct act,
                  sim::Cont k)
 {
     assert(words > 0);
+    issueGlobal(addr, words, act, 0, std::move(k));
+}
+
+void
+Ce::issueGlobal(sim::Addr addr, unsigned words, os::UserAct act,
+                unsigned attempt, sim::Cont k)
+{
     const sim::Tick start = eq_.now();
     const auto t = reserveBurst(addr, words);
+
+    if (t.complete == sim::max_tick) {
+        faultedAccess(
+            addr, act, attempt,
+            [this, addr, words, act, k](unsigned next) {
+                issueGlobal(addr, words, act, next, k);
+            },
+            // Fallback: the data words carry no simulated values;
+            // the access simply completes (its cost was the waits).
+            [this, k] { finishOp(eq_.now(), k); });
+        return;
+    }
 
     const sim::Tick duration = t.complete - start;
     if (duration > t.unloaded)
@@ -106,8 +126,30 @@ Ce::computeWithPrefetch(sim::Tick n, sim::Addr addr, unsigned words,
         compute(n, act, std::move(k));
         return;
     }
+    issuePrefetch(n, addr, words, act, 0, std::move(k));
+}
+
+void
+Ce::issuePrefetch(sim::Tick n, sim::Addr addr, unsigned words,
+                  os::UserAct act, unsigned attempt, sim::Cont k)
+{
     const sim::Tick start = eq_.now();
     const auto t = reserveBurst(addr, words);
+
+    if (t.complete == sim::max_tick) {
+        faultedAccess(
+            addr, act, attempt,
+            [this, n, addr, words, act, k](unsigned next) {
+                issuePrefetch(n, addr, words, act, next, k);
+            },
+            // Fallback: only the (already accounted) computation
+            // remains; the stream is written off.
+            [this, n, act, k] {
+                acct_.addUser(id_, act, n);
+                finishOp(eq_.now() + n, k);
+            });
+        return;
+    }
 
     // The stream runs under the computation; the CE only stalls for
     // whatever the prefetch could not hide.
@@ -125,11 +167,37 @@ void
 Ce::globalRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
               const ValCont &k)
 {
+    issueRmw(addr, f, act, 0, k);
+}
+
+void
+Ce::issueRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
+             unsigned attempt, const ValCont &k)
+{
     const sim::Tick start = eq_.now();
     const auto res = net_.rmw(start, cluster_, local_, addr, f);
 
     globalWords_ += 1;
     ++globalAccesses_;
+
+    if (res.complete == sim::max_tick) {
+        // The dead module did not apply the mutation, so a retry
+        // cannot double-apply it.
+        faultedAccess(
+            addr, act, attempt,
+            [this, addr, f, act, k](unsigned next) {
+                issueRmw(addr, f, act, next, k);
+            },
+            // Fallback: the OS services the atomic through its
+            // software path so the program's synchronisation state
+            // stays consistent; the cost was the accumulated waits.
+            [this, addr, f, k] {
+                const std::uint64_t old = net_.forceRmw(addr, f);
+                finishOp(eq_.now(), [k, old] { k(old); });
+            });
+        return;
+    }
+
     const sim::Tick duration = res.complete - start;
     if (duration > res.unloaded)
         queueingStall_ += duration - res.unloaded;
@@ -137,6 +205,38 @@ Ce::globalRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
     acct_.addUser(id_, act, duration);
     const std::uint64_t old = res.oldValue;
     finishOp(res.complete, [k, old] { k(old); });
+}
+
+void
+Ce::faultedAccess(sim::Addr addr, os::UserAct act, unsigned attempt,
+                  const std::function<void(unsigned)> &retry,
+                  const sim::Cont &fallback)
+{
+    if (costs_.gm_timeout == 0) {
+        // No timeout path: the CE hangs on the bus, exactly as the
+        // stock hardware would. The runtime reports the deadlock.
+        recordFault(fault::FaultKind::access_parked, addr);
+        parked_ = true;
+        return;
+    }
+    if (attempt > costs_.gm_max_retries) {
+        recordFault(fault::FaultKind::access_abandoned, addr);
+        ++degradedAccesses_;
+        fallback();
+        return;
+    }
+    recordFault(fault::FaultKind::access_timeout, addr);
+    const sim::Tick wait =
+        costs_.gm_timeout + (costs_.gm_retry_backoff << attempt);
+    acct_.addUser(id_, act, wait);
+    finishOp(eq_.now() + wait, [retry, attempt] { retry(attempt + 1); });
+}
+
+void
+Ce::recordFault(fault::FaultKind kind, std::uint64_t arg)
+{
+    if (flog_)
+        flog_->record({eq_.now(), kind, static_cast<int>(id_), arg});
 }
 
 void

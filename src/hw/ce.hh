@@ -34,6 +34,12 @@ namespace cedar::hpm
 class Trace;
 }
 
+namespace cedar::fault
+{
+class FaultLog;
+enum class FaultKind;
+}
+
 namespace cedar::hw
 {
 
@@ -57,10 +63,29 @@ class Ce
     sim::Tick now() const { return eq_.now(); }
 
     /** True when the CE is doing or awaiting work (statfx sense). */
-    bool active() const { return busy_ || (waiting_ && !passiveWait_); }
+    bool
+    active() const
+    {
+        return !parked_ && (busy_ || (waiting_ && !passiveWait_));
+    }
 
     /** Mark the CE detached/idle (counts as inactive for statfx). */
     void markIdle();
+
+    // ----- global-memory resilience -----
+
+    /**
+     * True when a global access hit a dead memory module with no
+     * timeout configured: the CE is stuck forever, as the stock
+     * hardware would be. The runtime reports this as a deadlock.
+     */
+    bool parked() const { return parked_; }
+
+    /** Accesses completed through the degraded fallback path. */
+    std::uint64_t degradedAccesses() const { return degradedAccesses_; }
+
+    /** Attach the fault log recording this CE's resilience events. */
+    void setFaultLog(fault::FaultLog *log) { flog_ = log; }
 
     // ----- program-order primitives -----
 
@@ -164,6 +189,28 @@ class Ce
     void finishOp(sim::Tick completion, sim::Cont k);
     void opDone(sim::Cont k);
 
+    // ----- dead-module handling (see docs/FAULTS.md) -----
+
+    void issueGlobal(sim::Addr addr, unsigned words, os::UserAct act,
+                     unsigned attempt, sim::Cont k);
+    void issuePrefetch(sim::Tick n, sim::Addr addr, unsigned words,
+                       os::UserAct act, unsigned attempt, sim::Cont k);
+    void issueRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
+                  unsigned attempt, const ValCont &k);
+
+    /**
+     * React to an access whose completion came back as the
+     * sim::max_tick sentinel (dead module): park forever when no
+     * timeout is configured, otherwise wait out the timeout plus
+     * exponential backoff and call @p retry with the next attempt
+     * number — or @p fallback once retries are exhausted.
+     */
+    void faultedAccess(sim::Addr addr, os::UserAct act, unsigned attempt,
+                       const std::function<void(unsigned)> &retry,
+                       const sim::Cont &fallback);
+
+    void recordFault(fault::FaultKind kind, std::uint64_t arg);
+
     sim::EventQueue &eq_;
     net::Network &net_;
     os::Accounting &acct_;
@@ -177,6 +224,7 @@ class Ce
     bool busy_ = false;
     bool waiting_ = false;
     bool passiveWait_ = false;
+    bool parked_ = false;       //!< stuck forever on a dead module
     sim::Tick penalty_ = 0;     //!< interrupt time to append to the op
     sim::Tick waitStart_ = 0;
     sim::Tick waitOverlap_ = 0; //!< interrupt time overlapped by a wait
@@ -184,6 +232,9 @@ class Ce
     std::uint64_t globalWords_ = 0;
     std::uint64_t globalAccesses_ = 0;
     sim::Tick queueingStall_ = 0;
+
+    fault::FaultLog *flog_ = nullptr;
+    std::uint64_t degradedAccesses_ = 0;
 };
 
 } // namespace cedar::hw

@@ -2,8 +2,44 @@
 
 #include <stdexcept>
 
+#include "sim/error.hh"
+
 namespace cedar::hw
 {
+
+void
+CedarConfig::validate() const
+{
+    using sim::ConfigError;
+    if (nClusters == 0)
+        throw ConfigError("machine needs at least one cluster");
+    if (cesPerCluster == 0)
+        throw ConfigError("clusters need at least one CE");
+    if (nModules == 0 || groupSize == 0)
+        throw ConfigError(
+            "memory geometry: modules and group size must be positive");
+    if (nModules % groupSize != 0)
+        throw ConfigError("memory geometry: " +
+                          std::to_string(nModules) +
+                          " modules not divisible into groups of " +
+                          std::to_string(groupSize));
+    if (!(clockHz > 0.0))
+        throw ConfigError("clock frequency must be positive");
+    if (costs.statfx_period == 0)
+        throw ConfigError("statfx sampling period must be positive");
+    if (!(costs.daemon_mean_interval > 0.0))
+        throw ConfigError("daemon mean interval must be positive");
+    if (!(costs.ast_mean_interval > 0.0))
+        throw ConfigError("AST mean interval must be positive");
+    if (costs.gm_timeout > 0 && costs.gm_retry_backoff == 0)
+        throw ConfigError(
+            "global-memory retry backoff must be positive when the "
+            "timeout path is enabled");
+    if (costs.gm_max_retries > 30)
+        throw ConfigError(
+            "global-memory retries capped at 30 (backoff doubles per "
+            "attempt)");
+}
 
 CedarConfig
 CedarConfig::withProcs(unsigned nprocs)

@@ -79,6 +79,19 @@ struct CostModel
      */
     bool ctx_rtl_coop = false;
 
+    // ----- Global-memory resilience -----
+    /**
+     * Ticks a CE waits on a global access to a dead (stuck forever)
+     * memory module before retrying. 0 disables the timeout path:
+     * the CE parks on the access and the run ends in deadlock —
+     * the stock machine's behaviour.
+     */
+    sim::Tick gm_timeout = 0;
+    /** Base backoff added per retry (doubles each attempt). */
+    sim::Tick gm_retry_backoff = 2000;
+    /** Retries before a timed-out access is abandoned. */
+    unsigned gm_max_retries = 3;
+
     // ----- Instrumentation -----
     /** statfx concurrency sampling period. */
     sim::Tick statfx_period = 2000;
@@ -98,6 +111,15 @@ struct CedarConfig
     CostModel costs;
 
     unsigned numCes() const { return nClusters * cesPerCluster; }
+
+    /**
+     * Check structural sanity of the configuration (non-zero
+     * geometry, interleavable memory, positive model periods).
+     * Machine construction validates implicitly.
+     *
+     * @throws sim::ConfigError describing the first problem found.
+     */
+    void validate() const;
 
     /** The five measured configurations: 1, 4, 8, 16, 32. */
     static CedarConfig withProcs(unsigned nprocs);

@@ -7,8 +7,15 @@
 namespace cedar::hw
 {
 
+const CedarConfig &
+Machine::validated(const CedarConfig &cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
 Machine::Machine(const CedarConfig &cfg)
-    : cfg_(cfg), rng_(cfg.seed),
+    : cfg_(validated(cfg)), rng_(cfg.seed),
       gmem_(mem::AddressMap(cfg.nModules, cfg.groupSize)),
       net_(cfg.nClusters, cfg.cesPerCluster, gmem_),
       acct_(cfg.nClusters, cfg.cesPerCluster),
@@ -20,6 +27,8 @@ Machine::Machine(const CedarConfig &cfg)
         clusters_.push_back(std::make_unique<Cluster>(
             eq_, net_, acct_, trace_, cfg_.costs,
             static_cast<sim::ClusterId>(c), cfg.cesPerCluster));
+        for (unsigned p = 0; p < cfg.cesPerCluster; ++p)
+            clusters_.back()->ce(static_cast<int>(p)).setFaultLog(&flog_);
     }
     xylem_ = std::make_unique<os::Xylem>(*this);
 }

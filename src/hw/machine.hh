@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "hpm/statfx.hh"
 #include "hpm/trace.hh"
 #include "hw/cluster.hh"
@@ -51,6 +52,8 @@ class Machine
     hpm::Trace &trace() { return trace_; }
     hpm::Statfx &statfx() { return statfx_; }
     os::Xylem &xylem() { return *xylem_; }
+    fault::FaultLog &faultLog() { return flog_; }
+    const fault::FaultLog &faultLog() const { return flog_; }
 
     unsigned numClusters() const { return cfg_.nClusters; }
     unsigned numCes() const { return cfg_.numCes(); }
@@ -74,6 +77,9 @@ class Machine
     sim::Addr allocSyncWord();
 
   private:
+    /** Validation hook run before any member is constructed. */
+    static const CedarConfig &validated(const CedarConfig &cfg);
+
     CedarConfig cfg_;
     sim::EventQueue eq_;
     sim::RandomGen rng_;
@@ -84,6 +90,7 @@ class Machine
     std::vector<std::unique_ptr<Cluster>> clusters_;
     std::unique_ptr<os::Xylem> xylem_;
     hpm::Statfx statfx_;
+    fault::FaultLog flog_;
     sim::Addr nextAddr_ = 0;
     sim::Addr nextSync_ = 0;
 };

@@ -1,6 +1,8 @@
 #include "mem/address_map.hh"
 
-#include <cassert>
+#include <string>
+
+#include "sim/error.hh"
 
 namespace cedar::mem
 {
@@ -8,8 +10,14 @@ namespace cedar::mem
 AddressMap::AddressMap(unsigned n_modules, unsigned group_size)
     : nModules_(n_modules), groupSize_(group_size)
 {
-    assert(n_modules > 0 && group_size > 0);
-    assert(n_modules % group_size == 0);
+    if (n_modules == 0 || group_size == 0)
+        throw sim::ConfigError(
+            "memory geometry: modules and group size must be positive");
+    if (n_modules % group_size != 0)
+        throw sim::ConfigError(
+            "memory geometry: " + std::to_string(n_modules) +
+            " modules not divisible into groups of " +
+            std::to_string(group_size));
 }
 
 std::vector<Chunk>

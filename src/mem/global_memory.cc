@@ -2,9 +2,61 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "sim/error.hh"
 
 namespace cedar::mem
 {
+
+void
+GlobalMemory::injectModuleFault(unsigned m, const ModuleFault &f)
+{
+    if (m >= modules_.size())
+        throw sim::ConfigError("module fault: module " +
+                               std::to_string(m) +
+                               " out of range (memory has " +
+                               std::to_string(modules_.size()) + ")");
+    if (f.factor == 1)
+        throw sim::ConfigError(
+            "module fault: factor 1 is a no-op (use >= 2, or 0 for "
+            "stuck)");
+    if (f.until <= f.from)
+        throw sim::ConfigError(
+            "module fault: window end must follow its start");
+    if (faults_.empty())
+        faults_.resize(modules_.size());
+    faults_[m].push_back(f);
+}
+
+bool
+GlobalMemory::moduleDead(unsigned m, sim::Tick at) const
+{
+    return effect(m, at, word_service).dead;
+}
+
+GlobalMemory::ServiceEffect
+GlobalMemory::effect(unsigned m, sim::Tick arrival, sim::Tick base) const
+{
+    ServiceEffect e{base, 0, false};
+    if (faults_.empty())
+        return e;
+    for (const auto &f : faults_[m]) {
+        if (arrival < f.from || arrival >= f.until)
+            continue;
+        if (f.factor == 0) {
+            if (f.until == sim::max_tick) {
+                e.dead = true;
+            } else {
+                // Stuck window: service resumes when it closes.
+                e.notBefore = std::max(e.notBefore, f.until);
+            }
+        } else {
+            e.service *= f.factor;
+        }
+    }
+    return e;
+}
 
 MemAccessResult
 GlobalMemory::accessChunk(sim::Tick arrival, const Chunk &chunk)
@@ -13,9 +65,15 @@ GlobalMemory::accessChunk(sim::Tick arrival, const Chunk &chunk)
     MemAccessResult res{0, 0};
     for (unsigned i = 0; i < chunk.len; ++i) {
         const unsigned m = map_.module(chunk.addr + i);
+        const ServiceEffect ef = effect(m, arrival, word_service);
+        if (ef.dead) {
+            res.complete = sim::max_tick;
+            continue;
+        }
         sim::FifoServer &srv = modules_[m];
         const sim::Tick before = srv.freeAt();
-        const sim::Tick done = srv.serve(arrival, word_service);
+        const sim::Tick done =
+            srv.serve(arrival, ef.service, ef.notBefore);
         res.complete = std::max(res.complete, done);
         if (before > arrival)
             res.wait += before - arrival;
@@ -29,9 +87,18 @@ GlobalMemory::rmw(sim::Tick arrival, sim::Addr addr,
                   std::uint64_t *old_out)
 {
     const unsigned m = map_.module(addr);
+    const ServiceEffect ef = effect(m, arrival, rmw_service);
+    if (ef.dead) {
+        // The module never answers: no service, and crucially no
+        // mutation, so a retried/abandoned RMW cannot double-apply.
+        if (old_out)
+            *old_out = ~0ULL;
+        return MemAccessResult{sim::max_tick, 0};
+    }
+
     sim::FifoServer &srv = modules_[m];
     const sim::Tick before = srv.freeAt();
-    const sim::Tick done = srv.serve(arrival, rmw_service);
+    const sim::Tick done = srv.serve(arrival, ef.service, ef.notBefore);
 
     std::uint64_t &cell = words_[addr];
     if (old_out)
@@ -75,6 +142,7 @@ GlobalMemory::reset()
     for (auto &m : modules_)
         m.reset();
     words_.clear();
+    faults_.clear();
 }
 
 } // namespace cedar::mem

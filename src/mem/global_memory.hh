@@ -32,6 +32,23 @@ struct MemAccessResult
 };
 
 /**
+ * An injected service fault on one memory module, active for
+ * arrivals in [from, until).
+ *
+ * factor >= 2 degrades service by that multiplier. factor == 0 means
+ * the module is stuck: arrivals wait until the window closes before
+ * being served, and when the window never closes (until ==
+ * sim::max_tick) the access never completes — its completion tick is
+ * the sim::max_tick sentinel and the request is not served at all.
+ */
+struct ModuleFault
+{
+    sim::Tick from = 0;
+    sim::Tick until = sim::max_tick;
+    unsigned factor = 0; //!< 0 = stuck; >= 2 = service multiplier
+};
+
+/**
  * The global memory: AddressMap geometry plus one FifoServer per
  * module and a sparse value store for synchronisation words.
  */
@@ -67,6 +84,24 @@ class GlobalMemory
         const std::function<std::uint64_t(std::uint64_t)> &f,
         std::uint64_t *old_out = nullptr);
 
+    /**
+     * Apply @p f to the word at @p addr without timing or module
+     * service: the resilience layer's software fallback for atomics
+     * whose home module is dead. Keeps synchronisation state
+     * consistent for runs that complete in degraded mode.
+     *
+     * @return the previous value of the word.
+     */
+    std::uint64_t
+    forceRmw(sim::Addr addr,
+             const std::function<std::uint64_t(std::uint64_t)> &f)
+    {
+        std::uint64_t &cell = words_[addr];
+        const std::uint64_t old = cell;
+        cell = f(cell);
+        return old;
+    }
+
     /** Non-atomic read of a word's current value (timing separate). */
     std::uint64_t peek(sim::Addr addr) const;
 
@@ -79,6 +114,17 @@ class GlobalMemory
         return modules_[m];
     }
 
+    /**
+     * Install a service fault on module @p m.
+     *
+     * @throws sim::ConfigError when @p m is out of range or the
+     *         fault's window/factor is malformed.
+     */
+    void injectModuleFault(unsigned m, const ModuleFault &f);
+
+    /** True when module @p m never serves arrivals at @p at. */
+    bool moduleDead(unsigned m, sim::Tick at) const;
+
     /** Sum of queueing wait across all modules. */
     sim::Tick totalWaitTicks() const;
 
@@ -88,9 +134,22 @@ class GlobalMemory
     void reset();
 
   private:
+    /** Fault-adjusted service parameters for one arrival. */
+    struct ServiceEffect
+    {
+        sim::Tick service;    //!< effective service time
+        sim::Tick notBefore;  //!< earliest service start (stuck window)
+        bool dead;            //!< module never serves this arrival
+    };
+
+    ServiceEffect effect(unsigned m, sim::Tick arrival,
+                         sim::Tick base) const;
+
     AddressMap map_;
     std::vector<sim::FifoServer> modules_;
     std::unordered_map<sim::Addr, std::uint64_t> words_;
+    /** Injected faults, per module; empty unless faults are active. */
+    std::vector<std::vector<ModuleFault>> faults_;
 };
 
 } // namespace cedar::mem

@@ -3,9 +3,27 @@
 #include <cassert>
 #include <iomanip>
 #include <ostream>
+#include <string>
+
+#include "sim/error.hh"
 
 namespace cedar::net
 {
+
+namespace
+{
+
+void
+checkCluster(sim::ClusterId cluster, unsigned n_clusters)
+{
+    if (cluster < 0 || static_cast<unsigned>(cluster) >= n_clusters)
+        throw sim::SimError("network: cluster " +
+                            std::to_string(cluster) +
+                            " out of range (network has " +
+                            std::to_string(n_clusters) + ")");
+}
+
+} // namespace
 
 Network::Network(unsigned n_clusters, unsigned ces_per_cluster,
                  mem::GlobalMemory &gmem)
@@ -49,7 +67,7 @@ XferResult
 Network::chunkAccess(sim::Tick when, sim::ClusterId cluster, int ce_port,
                      const mem::Chunk &chunk)
 {
-    assert(cluster >= 0 && static_cast<unsigned>(cluster) < nClusters_);
+    checkCluster(cluster, nClusters_);
     assert(chunk.len >= 1 && chunk.len <= gmem_.map().groupSize());
 
     const unsigned group = gmem_.map().group(chunk.addr);
@@ -57,9 +75,14 @@ Network::chunkAccess(sim::Tick when, sim::ClusterId cluster, int ce_port,
     const auto mem = gmem_.accessChunk(t2 + hop_latency, chunk);
 
     XferResult res;
+    res.unloaded = unloadedLatency(chunk.len, false);
+    if (mem.complete == sim::max_tick) {
+        // A dead module never responds; there is no return traffic.
+        res.complete = sim::max_tick;
+        return res;
+    }
     res.complete = returnPath(mem.complete, cluster, ce_port, group,
                               chunk.len);
-    res.unloaded = unloadedLatency(chunk.len, false);
     return res;
 }
 
@@ -68,7 +91,7 @@ Network::rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
              sim::Addr addr,
              const std::function<std::uint64_t(std::uint64_t)> &f)
 {
-    assert(cluster >= 0 && static_cast<unsigned>(cluster) < nClusters_);
+    checkCluster(cluster, nClusters_);
 
     const unsigned group = gmem_.map().group(addr);
     const sim::Tick t2 = forwardPath(when, cluster, group, 1);
@@ -77,9 +100,13 @@ Network::rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
     const auto mem = gmem_.rmw(t2 + hop_latency, addr, f, &old);
 
     XferResult res;
-    res.complete = returnPath(mem.complete, cluster, ce_port, group, 1);
     res.unloaded = unloadedLatency(1, true);
     res.oldValue = old;
+    if (mem.complete == sim::max_tick) {
+        res.complete = sim::max_tick;
+        return res;
+    }
+    res.complete = returnPath(mem.complete, cluster, ce_port, group, 1);
     return res;
 }
 
@@ -92,6 +119,28 @@ Network::unloadedLatency(unsigned len, bool is_rmw) const
     const sim::Tick mem_service = is_rmw ? mem::GlobalMemory::rmw_service
                                          : mem::GlobalMemory::word_service;
     return 6 * hop_latency + 4 * static_cast<sim::Tick>(len) + mem_service;
+}
+
+void
+Network::stallSwitch(sim::Tick when, unsigned stage, unsigned idx,
+                     sim::Tick duration)
+{
+    Crossbar *fwd = nullptr;
+    Crossbar *ret = nullptr;
+    if (stage == 1 && idx < stage1_.size()) {
+        fwd = &stage1_[idx];
+        ret = &returnB_[idx];
+    } else if (stage == 2 && idx < stage2In_.size()) {
+        fwd = &stage2In_[idx];
+        ret = &returnA_[idx];
+    } else {
+        throw sim::SimError("network: no stage" + std::to_string(stage) +
+                            " switch " + std::to_string(idx));
+    }
+    for (unsigned p = 0; p < fwd->numPorts(); ++p)
+        fwd->port(p).serve(when, duration);
+    for (unsigned p = 0; p < ret->numPorts(); ++p)
+        ret->port(p).serve(when, duration);
 }
 
 sim::Tick

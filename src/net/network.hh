@@ -81,6 +81,26 @@ class Network
     /** Zero-contention latency of a chunk of @p len words. */
     sim::Tick unloadedLatency(unsigned len, bool is_rmw = false) const;
 
+    /**
+     * Fault injection: block every port of one switch (forward and
+     * mirrored return crossbar) for @p duration ticks starting at
+     * @p when. Traffic already reserved queues normally behind the
+     * stall. @p stage selects stage-1 (per-cluster, @p idx is a
+     * cluster) or stage-2 (per-group, @p idx is a module group).
+     *
+     * @throws sim::SimError when the stage or index is out of range.
+     */
+    void stallSwitch(sim::Tick when, unsigned stage, unsigned idx,
+                     sim::Tick duration);
+
+    /** Untimed RMW fallback (see mem::GlobalMemory::forceRmw). */
+    std::uint64_t
+    forceRmw(sim::Addr addr,
+             const std::function<std::uint64_t(std::uint64_t)> &f)
+    {
+        return gmem_.forceRmw(addr, f);
+    }
+
     /** Queueing wait accumulated in switches (not memory modules). */
     sim::Tick switchWaitTicks() const;
 

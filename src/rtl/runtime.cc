@@ -55,17 +55,66 @@ Runtime::Runtime(hw::Machine &m, const apps::AppModel &app)
 
 Runtime::~Runtime() = default;
 
-void
-Runtime::run(std::uint64_t event_limit)
+bool
+Runtime::anyCeParked()
+{
+    for (unsigned c = 0; c < m_.numClusters(); ++c) {
+        auto &cluster = m_.cluster(static_cast<sim::ClusterId>(c));
+        for (unsigned p = 0; p < cluster.numCes(); ++p) {
+            if (cluster.ce(static_cast<int>(p)).parked())
+                return true;
+        }
+    }
+    return false;
+}
+
+sim::RunStatus
+Runtime::run(std::uint64_t event_limit, std::uint64_t watchdog_events)
 {
     m_.xylem().startDaemons();
     m_.statfx().start();
     m_.eq().scheduleIn(0, [this] { startProgram(); });
-    if (!m_.eq().run(event_limit))
-        throw std::runtime_error("Runtime::run: event limit exceeded");
+
+    sim::Watchdog wd(watchdog_events);
+    const std::uint64_t base = m_.eq().executed();
+    status_ = sim::RunStatus::Completed;
+    for (;;) {
+        const std::uint64_t done = m_.eq().executed() - base;
+        if (done >= event_limit) {
+            status_ = sim::RunStatus::EventLimit;
+            break;
+        }
+        // Slices small enough that the watchdog and the parked-CE
+        // check see the loop regularly, large enough to stay cheap.
+        const std::uint64_t slice =
+            std::min({std::max<std::uint64_t>(wd.stallEvents() / 4, 1024),
+                      std::uint64_t(65536), event_limit - done});
+        const bool drained = m_.eq().run(slice);
+        if (anyCeParked()) {
+            // A CE is hung on a dead memory module with no timeout
+            // path; the program can never finish, even though OS
+            // daemons keep the queue busy.
+            status_ = sim::RunStatus::Deadlock;
+            break;
+        }
+        if (drained) {
+            if (!finished_)
+                status_ = sim::RunStatus::Deadlock;
+            break;
+        }
+        if (wd.observe(m_.eq().now(), m_.eq().executed())) {
+            status_ = sim::RunStatus::Deadlock;
+            break;
+        }
+    }
+
     if (!finished_)
-        throw std::runtime_error("Runtime::run: deadlock (queue drained)");
+        ct_ = m_.eq().now();
+    else if (status_ == sim::RunStatus::Completed &&
+             m_.faultLog().degraded() > 0)
+        status_ = sim::RunStatus::Faulted;
     m_.acct().finalize(ct_);
+    return status_;
 }
 
 void

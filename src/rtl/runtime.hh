@@ -38,9 +38,11 @@
 #include "hw/machine.hh"
 #include "os/page_table.hh"
 #include "rtl/sync.hh"
+#include "sim/error.hh"
 #include "sim/fifo_server.hh"
 #include "sim/random.hh"
 #include "sim/types.hh"
+#include "sim/watchdog.hh"
 
 namespace cedar::rtl
 {
@@ -80,14 +82,28 @@ class Runtime
     Runtime &operator=(const Runtime &) = delete;
 
     /**
-     * Run the application to completion: starts OS daemons, the
-     * statfx monitor, helper tasks, then the program; drives the
-     * event queue until the main task finishes; finalizes the
-     * accounting ledger.
+     * Run the application: starts OS daemons, the statfx monitor,
+     * helper tasks, then the program; drives the event queue in
+     * watchdog-supervised slices until the main task finishes or
+     * forward progress is lost; finalizes the accounting ledger.
+     *
+     * Never throws for simulation outcomes: a drained queue with an
+     * unfinished program or a parked CE reports Deadlock, a livelock
+     * (events without time advance) reports Deadlock via the
+     * watchdog, an exhausted event budget reports EventLimit, and a
+     * run that completed but abandoned global accesses reports
+     * Faulted. On abnormal endings the completion time is the tick
+     * progress stopped at.
      *
      * @param event_limit safety valve on total events executed.
+     * @param watchdog_events livelock threshold (events at one tick).
      */
-    void run(std::uint64_t event_limit = 500'000'000ULL);
+    sim::RunStatus
+    run(std::uint64_t event_limit = 500'000'000ULL,
+        std::uint64_t watchdog_events = sim::Watchdog::default_stall_events);
+
+    /** How the last run() ended. */
+    sim::RunStatus status() const { return status_; }
 
     bool finished() const { return finished_; }
     sim::Tick completionTime() const { return ct_; }
@@ -206,10 +222,13 @@ class Runtime
     std::vector<ClusterWindow> windows_;
     std::vector<sim::Tick> windowEnterAt_;
 
+    bool anyCeParked();
+
     LoopPtr curLoop_;
     std::uint32_t nextSeq_ = 1;
     bool finished_ = false;
     sim::Tick ct_ = 0;
+    sim::RunStatus status_ = sim::RunStatus::Completed;
     RuntimeStats stats_;
 };
 

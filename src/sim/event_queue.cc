@@ -1,8 +1,9 @@
 #include "sim/event_queue.hh"
 
 #include <cassert>
-#include <stdexcept>
 #include <utility>
+
+#include "sim/error.hh"
 
 namespace cedar::sim
 {
@@ -11,7 +12,7 @@ void
 EventQueue::schedule(Tick when, Cont fn)
 {
     if (when < _now)
-        throw std::logic_error("EventQueue: scheduling into the past");
+        throw ScheduleError("scheduling into the past");
     events_.push(Item{when, nextSeq_++, std::move(fn)});
 }
 

@@ -39,6 +39,23 @@ class FifoServer
         return freeAt_;
     }
 
+    /**
+     * Reserve @p service ticks starting no earlier than both
+     * @p arrival and @p not_before. The gap waiting on @p not_before
+     * counts as queueing (the requester experiences it as such);
+     * used by fault-degraded modules whose service floor postpones
+     * work past a stuck window.
+     */
+    Tick
+    serve(Tick arrival, Tick service, Tick not_before)
+    {
+        const Tick start =
+            std::max(std::max(arrival, not_before), freeAt_);
+        stats_.record(start - arrival, service);
+        freeAt_ = start + service;
+        return freeAt_;
+    }
+
     /** Next tick at which the server is free. */
     Tick freeAt() const { return freeAt_; }
 

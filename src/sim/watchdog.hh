@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Forward-progress watchdog for the event loop.
+ *
+ * A discrete-event simulation can livelock: events keep executing
+ * but simulated time never advances (e.g. a zero-delay wake-up
+ * cycle). The watchdog observes (now, executed) pairs between run
+ * slices and reports a stall when a configurable number of events
+ * has executed without time moving forward. Queue-drained deadlock
+ * (events exhausted while the program is unfinished) is detected
+ * separately by the runtime; the watchdog covers the complementary
+ * failure mode.
+ */
+
+#ifndef CEDAR_SIM_WATCHDOG_HH
+#define CEDAR_SIM_WATCHDOG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cedar::sim
+{
+
+/** Detects event-loop livelock (events without time advance). */
+class Watchdog
+{
+  public:
+    /** Default stall threshold, in events at one tick. */
+    static constexpr std::uint64_t default_stall_events = 1'000'000ULL;
+
+    explicit Watchdog(std::uint64_t stall_events = default_stall_events)
+        : stallEvents_(stall_events ? stall_events : default_stall_events)
+    {
+    }
+
+    std::uint64_t stallEvents() const { return stallEvents_; }
+
+    /**
+     * Feed one observation of the event loop.
+     *
+     * @param now current simulated time.
+     * @param executed cumulative events executed so far.
+     * @return true when >= stallEvents() events have executed with
+     *         no advance of simulated time — a livelock.
+     */
+    bool
+    observe(Tick now, std::uint64_t executed)
+    {
+        if (!seeded_ || now != lastNow_) {
+            seeded_ = true;
+            lastNow_ = now;
+            lastAdvanceExec_ = executed;
+            return false;
+        }
+        return executed - lastAdvanceExec_ >= stallEvents_;
+    }
+
+  private:
+    std::uint64_t stallEvents_;
+    Tick lastNow_ = 0;
+    std::uint64_t lastAdvanceExec_ = 0;
+    bool seeded_ = false;
+};
+
+} // namespace cedar::sim
+
+#endif // CEDAR_SIM_WATCHDOG_HH

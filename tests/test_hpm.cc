@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "hpm/statfx.hh"
@@ -68,6 +69,70 @@ TEST(Trace, ReadMissingFileThrows)
 {
     EXPECT_THROW(hpm::Trace::readFile("/tmp/definitely_not_there.bin"),
                  std::runtime_error);
+}
+
+TEST(Trace, ReadRejectsBadMagic)
+{
+    const std::string path = "/tmp/cedar_test_badmagic.chpm";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "notchpm!restoffile";
+    }
+    EXPECT_THROW(hpm::Trace::readFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReadRejectsTruncatedHeader)
+{
+    const std::string path = "/tmp/cedar_test_shortmagic.chpm";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "chp"; // shorter than the magic itself
+    }
+    EXPECT_THROW(hpm::Trace::readFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReadRejectsCorruptRecordCount)
+{
+    const std::string path = "/tmp/cedar_test_badcount.chpm";
+    {
+        // Valid magic, then a record count far larger than the
+        // payload: must throw, not attempt a huge allocation.
+        std::ofstream f(path, std::ios::binary);
+        f << "chpm0001";
+        const std::uint64_t n = ~std::uint64_t(0) / 2;
+        f.write(reinterpret_cast<const char *>(&n), sizeof(n));
+        f << "tiny";
+    }
+    EXPECT_THROW(hpm::Trace::readFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReadRejectsTruncatedPayload)
+{
+    const std::string path = "/tmp/cedar_test_truncated.chpm";
+    {
+        hpm::Trace t;
+        for (int i = 0; i < 8; ++i)
+            t.post(i, 0, EventId::iter_start,
+                   static_cast<std::uint32_t>(i));
+        t.writeFile(path);
+    }
+    // Chop the last few bytes off a valid file.
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    in.close();
+    std::string bytes = buf.str();
+    bytes.resize(bytes.size() - 5);
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_THROW(hpm::Trace::readFile(path), std::runtime_error);
+    std::remove(path.c_str());
 }
 
 TEST(Trace, DumpIsHumanReadable)

@@ -348,7 +348,12 @@ TEST(Runtime, EventLimitGuardsAgainstRunaway)
     const auto app = tinyApp(LoopKind::sdoall, 3);
     hw::Machine m{hw::CedarConfig::withProcs(16)};
     rtl::Runtime rt(m, app);
-    EXPECT_THROW(rt.run(/*event_limit=*/100), std::runtime_error);
+    const auto status = rt.run(/*event_limit=*/100);
+    EXPECT_EQ(status, sim::RunStatus::EventLimit);
+    EXPECT_EQ(rt.status(), sim::RunStatus::EventLimit);
+    EXPECT_FALSE(rt.finished());
+    // Progress stopped where the budget ran out, not at zero.
+    EXPECT_EQ(rt.completionTime(), m.now());
 }
 
 } // namespace

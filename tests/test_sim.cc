@@ -9,6 +9,7 @@
 #include <cmath>
 #include <vector>
 
+#include "sim/error.hh"
 #include "sim/event_queue.hh"
 #include "sim/fifo_server.hh"
 #include "sim/random.hh"
@@ -62,7 +63,7 @@ TEST(EventQueue, SchedulingIntoThePastThrows)
 {
     EventQueue eq;
     eq.schedule(10, [&] {
-        EXPECT_THROW(eq.schedule(5, [] {}), std::logic_error);
+        EXPECT_THROW(eq.schedule(5, [] {}), cedar::sim::ScheduleError);
     });
     eq.run();
 }

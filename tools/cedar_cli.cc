@@ -8,18 +8,23 @@
  *              contention, counters).
  *   sweep    — run the paper's 1/4/8/16/32 sweep and print the
  *              Table-1-style summary.
+ *   faults   — run the canonical fault-injection degradation matrix
+ *              and show how the contention estimate responds.
  *   trace    — run with cedarhpm enabled and write the trace file.
  *   apps     — list the built-in application models.
  *
  * Examples:
  *   cedar_cli run FLO52 32
  *   cedar_cli run MDG 8 --seed 7 --scale 0.5 --prefetch
+ *   cedar_cli run FLO52 16 --inject module:7:degrade:4x
  *   cedar_cli sweep ADM
+ *   cedar_cli faults FLO52
  *   cedar_cli trace OCEAN 16 /tmp/ocean.chpm
  */
 
 #include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,7 +36,9 @@
 #include "core/experiment.hh"
 #include "core/profile.hh"
 #include "core/table.hh"
+#include "fault/fault.hh"
 #include "hpm/trace.hh"
+#include "sim/error.hh"
 
 using namespace cedar;
 
@@ -46,14 +53,51 @@ usage()
            "  cedar_cli run      <app> <procs> [--seed N] [--scale F]\n"
            "                     [--prefetch] [--pickup-block N]\n"
            "                     [--ctx-coop] [--fuse]\n"
+           "                     [--inject SPEC]... [--gm-timeout N]\n"
+           "                     [--gm-retries N] [--gm-backoff N]\n"
+           "                     [--watchdog-events N]\n"
            "  cedar_cli run-file <workload.txt> <procs> [flags]\n"
            "  cedar_cli sweep    <app> [--seed N] [--scale F]\n"
+           "  cedar_cli faults   <app> [procs] [--seed N] [--scale F]\n"
            "  cedar_cli trace    <app> <procs> <outfile>\n"
            "  cedar_cli profile  <app> <procs>\n"
            "  cedar_cli apps\n"
            "\napps: FLO52 ARC2D MDG OCEAN ADM\n"
-           "procs: 1, 4, 8, 16 or 32\n";
+           "procs: 1, 4, 8, 16 or 32\n"
+           "\nfault SPEC grammar (docs/FAULTS.md):\n"
+           "  module:<m>:degrade:<F>x[:@<t0>[-<t1>]]\n"
+           "  module:<m>:stuck[:@<t0>[-<t1>]]\n"
+           "  switch:stage1|stage2:<s>:stall:<ticks>[:@<t0>]\n"
+           "  ce:<c>:hiccup:p=<prob>[:cost=<ticks>][:@<t0>[-<t1>]]\n"
+           "  os:intr-storm:cluster<c>[:n=<count>][:@<t0>]\n";
     return 2;
+}
+
+/** Parse a full-token number; reject trailing garbage. */
+double
+parseNumber(const std::string &what, const std::string &tok)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(tok, &pos);
+        if (pos != tok.size())
+            throw std::invalid_argument(tok);
+        return v;
+    } catch (const std::exception &) {
+        throw std::invalid_argument(what + ": not a number: '" + tok +
+                                    "'");
+    }
+}
+
+std::uint64_t
+parseCount(const std::string &what, const std::string &tok)
+{
+    const double v = parseNumber(what, tok);
+    if (v < 0 ||
+        v != static_cast<double>(static_cast<std::uint64_t>(v)))
+        throw std::invalid_argument(what + ": not a whole number: '" +
+                                    tok + "'");
+    return static_cast<std::uint64_t>(v);
 }
 
 struct Flags
@@ -70,19 +114,28 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
 {
     for (std::size_t i = from; i < args.size(); ++i) {
         const auto &a = args[i];
-        auto next = [&](double &out) {
+        auto value = [&]() -> const std::string & {
             if (i + 1 >= args.size())
-                return false;
-            out = std::stod(args[++i]);
-            return true;
+                throw std::invalid_argument(a + " needs a value");
+            return args[++i];
         };
-        double v = 0;
-        if (a == "--seed" && next(v)) {
-            f.opts.seed = static_cast<std::uint64_t>(v);
-        } else if (a == "--scale" && next(v)) {
-            f.opts.scale = v;
-        } else if (a == "--pickup-block" && next(v)) {
-            f.pickupBlock = static_cast<unsigned>(v);
+        if (a == "--seed") {
+            f.opts.seed = parseCount(a, value());
+        } else if (a == "--scale") {
+            f.opts.scale = parseNumber(a, value());
+        } else if (a == "--pickup-block") {
+            f.pickupBlock = static_cast<unsigned>(parseCount(a, value()));
+        } else if (a == "--inject") {
+            f.opts.faults.push_back(fault::parseFaultSpec(value()));
+        } else if (a == "--watchdog-events") {
+            f.opts.watchdogEvents = parseCount(a, value());
+        } else if (a == "--gm-timeout") {
+            f.opts.gmTimeout = parseCount(a, value());
+        } else if (a == "--gm-retries") {
+            f.opts.gmMaxRetries =
+                static_cast<unsigned>(parseCount(a, value()));
+        } else if (a == "--gm-backoff") {
+            f.opts.gmRetryBackoff = parseCount(a, value());
         } else if (a == "--prefetch") {
             f.prefetch = true;
         } else if (a == "--ctx-coop") {
@@ -115,12 +168,33 @@ buildApp(const std::string &name, const Flags &f)
 }
 
 void
+printFaultSummary(const core::RunResult &r)
+{
+    if (r.faultLog.empty())
+        return;
+    std::cout << "fault injection: " << r.faultsInjected
+              << " perturbations delivered, "
+              << r.faultLog.count(fault::FaultKind::access_timeout)
+              << " access timeouts, " << r.accessesDegraded
+              << " degraded accesses, " << r.parkedCes
+              << " parked CE(s)\n";
+}
+
+void
 printRun(const core::RunResult &r, const core::RunResult *uni)
 {
     std::cout << r.app << " on " << r.nprocs << " processors ("
               << r.nClusters << " cluster(s))\n\n";
+    if (r.status != sim::RunStatus::Completed)
+        std::cout << "run status: " << sim::toString(r.status) << "\n";
+    printFaultSummary(r);
     std::cout << "completion time: " << core::Table::num(r.seconds(), 3)
-              << " s (" << r.ct << " cycles)\n";
+              << " s (" << r.ct << " cycles)"
+              << (r.status == sim::RunStatus::Completed ||
+                          r.status == sim::RunStatus::Faulted
+                      ? ""
+                      : " — progress at termination")
+              << "\n";
     if (uni && uni->ct != r.ct) {
         std::cout << "speedup vs 1 proc: "
                   << core::Table::num(uni->seconds() / r.seconds(), 2)
@@ -192,6 +266,16 @@ printRun(const core::RunResult &r, const core::RunResult *uni)
               << " global words moved\n";
 }
 
+/** Exit status of a run report: 0 unless progress was lost. */
+int
+runExitCode(const core::RunResult &r)
+{
+    return r.status == sim::RunStatus::Deadlock ||
+                   r.status == sim::RunStatus::EventLimit
+               ? 3
+               : 0;
+}
+
 int
 cmdRun(const std::vector<std::string> &args)
 {
@@ -201,12 +285,17 @@ cmdRun(const std::vector<std::string> &args)
     if (!parseFlags(args, 4, f))
         return usage();
     const auto app = buildApp(args[2], f);
-    const unsigned procs = static_cast<unsigned>(std::stoul(args[3]));
-    const auto uni = core::runExperiment(app, 1, f.opts);
-    const auto r = procs == 1 ? uni
-                              : core::runExperiment(app, procs, f.opts);
+    const unsigned procs =
+        static_cast<unsigned>(parseCount("processor count", args[3]));
+    // The 1-processor comparison baseline always runs undisturbed.
+    core::RunOptions uniOpts = f.opts;
+    uniOpts.faults.clear();
+    const auto uni = core::runExperiment(app, 1, uniOpts);
+    const auto r = procs == 1 && f.opts.faults.empty()
+                       ? uni
+                       : core::runExperiment(app, procs, f.opts);
     printRun(r, &uni);
-    return 0;
+    return runExitCode(r);
 }
 
 int
@@ -218,12 +307,16 @@ cmdRunFile(const std::vector<std::string> &args)
     if (!parseFlags(args, 4, f))
         return usage();
     const auto app = apps::parseWorkloadFile(args[2]);
-    const unsigned procs = static_cast<unsigned>(std::stoul(args[3]));
-    const auto uni = core::runExperiment(app, 1, f.opts);
-    const auto r = procs == 1 ? uni
-                              : core::runExperiment(app, procs, f.opts);
+    const unsigned procs =
+        static_cast<unsigned>(parseCount("processor count", args[3]));
+    core::RunOptions uniOpts = f.opts;
+    uniOpts.faults.clear();
+    const auto uni = core::runExperiment(app, 1, uniOpts);
+    const auto r = procs == 1 && f.opts.faults.empty()
+                       ? uni
+                       : core::runExperiment(app, procs, f.opts);
     printRun(r, &uni);
-    return 0;
+    return runExitCode(r);
 }
 
 int
@@ -257,13 +350,95 @@ cmdSweep(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * The canonical degradation matrix: one clean run plus one run per
+ * fault family, all against the same undisturbed 1-processor
+ * baseline, so the paper's contention estimate (T_p_actual -
+ * T_p_ideal) can be read as a fault detector.
+ */
+int
+cmdFaults(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return usage();
+    unsigned procs = 8;
+    std::size_t flags_from = 3;
+    if (args.size() > 3 && args[3][0] != '-') {
+        procs = static_cast<unsigned>(
+            parseCount("processor count", args[3]));
+        flags_from = 4;
+    }
+    Flags f;
+    if (!parseFlags(args, flags_from, f))
+        return usage();
+    const auto app = buildApp(args[2], f);
+
+    struct Scenario
+    {
+        const char *label;
+        std::vector<const char *> specs;
+        sim::Tick gmTimeout;
+    };
+    const std::vector<Scenario> matrix = {
+        {"baseline", {}, 0},
+        {"module 7 4x slower", {"module:7:degrade:4x"}, 0},
+        {"module 7 dead, no timeout", {"module:7:stuck:@1e6"}, 0},
+        {"module 7 dead, retry path", {"module:7:stuck:@1e6"}, 30000},
+        {"stage-2 switch 3 stalls", {"switch:stage2:3:stall:20000:@1e6"},
+         0},
+        {"CE 1 hiccups", {"ce:1:hiccup:p=1e-4"}, 0},
+        {"interrupt storm, cluster 0",
+         {"os:intr-storm:cluster0:n=16:@1e6"}, 0},
+    };
+
+    core::RunOptions uniOpts = f.opts;
+    uniOpts.faults.clear();
+    uniOpts.gmTimeout = 0;
+    const auto uni = core::runExperiment(app, 1, uniOpts);
+
+    std::cout << app.name << " fault-degradation matrix on " << procs
+              << " processors (seed " << f.opts.seed << ")\n\n";
+    core::Table t({"scenario", "status", "CT (s)", "Ov_cont %", "gt %",
+                   "injected", "degraded"});
+    for (const auto &sc : matrix) {
+        core::RunOptions opts = f.opts;
+        opts.faults.clear();
+        for (const char *spec : sc.specs)
+            opts.faults.push_back(fault::parseFaultSpec(spec));
+        opts.gmTimeout = sc.gmTimeout;
+        const auto r = core::runExperiment(app, procs, opts);
+
+        const bool usable = r.status == sim::RunStatus::Completed ||
+                            r.status == sim::RunStatus::Faulted;
+        const auto e = core::estimateContention(r, uni);
+        t.addRow({sc.label, sim::toString(r.status),
+                  core::Table::num(r.seconds(), 3),
+                  usable ? core::Table::num(e.ovContPct, 1) : "-",
+                  usable ? core::Table::num(
+                               core::groundTruthContentionPct(r), 1)
+                         : "-",
+                  std::to_string(r.faultsInjected),
+                  std::to_string(r.accessesDegraded)});
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nOv_cont is the paper's contention estimate (T_p_actual - "
+           "T_p_ideal) against the\nclean 1-processor baseline; gt is "
+           "the ground-truth queueing the CEs observed.\nInjected "
+           "perturbations and degraded (fallback-path) accesses come "
+           "from the fault\nlog. Non-completed statuses mean the "
+           "watchdog/deadlock detection fired.\n";
+    return 0;
+}
+
 int
 cmdTrace(const std::vector<std::string> &args)
 {
     if (args.size() < 5)
         return usage();
     const auto app = apps::perfectAppByName(args[2]);
-    const unsigned procs = static_cast<unsigned>(std::stoul(args[3]));
+    const unsigned procs =
+        static_cast<unsigned>(parseCount("processor count", args[3]));
     core::RunOptions opts;
     opts.collectTrace = true;
     const auto r = core::runExperiment(app, procs, opts);
@@ -283,7 +458,8 @@ cmdProfile(const std::vector<std::string> &args)
     if (args.size() < 4)
         return usage();
     const auto app = apps::perfectAppByName(args[2]);
-    const unsigned procs = static_cast<unsigned>(std::stoul(args[3]));
+    const unsigned procs =
+        static_cast<unsigned>(parseCount("processor count", args[3]));
     core::RunOptions opts;
     opts.collectTrace = true;
     const auto r = core::runExperiment(app, procs, opts);
@@ -332,6 +508,8 @@ main(int argc, char **argv)
             return cmdRunFile(args);
         if (args[1] == "sweep")
             return cmdSweep(args);
+        if (args[1] == "faults")
+            return cmdFaults(args);
         if (args[1] == "trace")
             return cmdTrace(args);
         if (args[1] == "profile")
