@@ -53,6 +53,35 @@ BM_EventChain(benchmark::State &state)
 BENCHMARK(BM_EventChain);
 
 void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    // Steady-state DES churn at a fixed pending population: every
+    // executed event schedules a successor a small pseudo-random
+    // delta ahead, the profile a 32-CE run drives the kernel with
+    // (range(0) = pending events, matching peak_pending from
+    // BENCH_sweep.json).
+    const auto population = static_cast<std::size_t>(state.range(0));
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        eq.reserve(population);
+        std::uint64_t executed = 0;
+        sim::RandomGen rng(7);
+        std::function<void()> churn = [&] {
+            if (++executed < population * 16)
+                eq.scheduleIn(1 + rng.below(64), churn);
+        };
+        for (std::size_t i = 0; i < population; ++i)
+            eq.schedule(rng.below(64), churn);
+        eq.run();
+        ops += executed;
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(64)->Arg(1024)->Arg(8192);
+
+void
 BM_NetworkChunkAccess(benchmark::State &state)
 {
     mem::AddressMap map;

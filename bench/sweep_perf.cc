@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Perf-regression harness for the simulator itself.
+ *
+ * Times the paper's full 1/4/8/16/32 sweep per application — the
+ * exact workload every analysis in this repo runs — and emits
+ * BENCH_sweep.json with, per configuration: host wall time, DES
+ * events executed, events/sec, and the event queue's peak pending
+ * population. Future PRs regenerate the file and diff it against the
+ * committed trajectory to catch kernel slowdowns.
+ *
+ * Usage:
+ *   sweep_perf [--apps A,B,...] [--scale F] [--jobs N]
+ *              [--repeat R] [--out FILE]
+ *
+ * Per-config wall times are always measured around the individual
+ * runExperiment call (inside its worker thread), so they are
+ * meaningful at any --jobs; sweep_wall_s is the wall time of the
+ * whole sweep and is where --jobs > 1 shows its speedup. --repeat
+ * reruns each sweep and keeps the fastest wall time per config
+ * (minimum-of-R is the standard noise filter for wall clocks).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/perfect.hh"
+#include "bench_json.hh"
+#include "core/experiment.hh"
+#include "core/parallel.hh"
+#include "harness.hh"
+
+using namespace cedar;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ConfigPerf
+{
+    unsigned procs = 0;
+    double wallSec = 0;
+    core::RunResult result;
+};
+
+struct AppPerf
+{
+    std::string app;
+    double sweepWallSec = 0;
+    std::vector<ConfigPerf> configs;
+};
+
+AppPerf
+timeSweep(const apps::AppModel &app, const core::RunOptions &opts,
+          unsigned jobs, unsigned repeat)
+{
+    AppPerf perf;
+    perf.app = app.name;
+    perf.configs.resize(bench::configs.size());
+    for (std::size_t i = 0; i < bench::configs.size(); ++i)
+        perf.configs[i].procs = bench::configs[i];
+
+    perf.sweepWallSec = -1;
+    for (unsigned r = 0; r < std::max(repeat, 1u); ++r) {
+        const auto sweep0 = Clock::now();
+        core::parallelFor(
+            bench::configs.size(), jobs, [&](std::size_t i) {
+                const auto t0 = Clock::now();
+                auto res =
+                    core::runExperiment(app, bench::configs[i], opts);
+                const double wall = secondsSince(t0);
+                auto &slot = perf.configs[i];
+                if (r == 0 || wall < slot.wallSec) {
+                    slot.wallSec = wall;
+                    slot.result = std::move(res);
+                }
+            });
+        const double sweepWall = secondsSince(sweep0);
+        if (perf.sweepWallSec < 0 || sweepWall < perf.sweepWallSec)
+            perf.sweepWallSec = sweepWall;
+    }
+    return perf;
+}
+
+void
+writeJson(std::ostream &os, const std::vector<AppPerf> &apps,
+          unsigned jobs, double scale, unsigned repeat,
+          double total_wall)
+{
+    tools::JsonWriter j(os);
+    j.beginObject();
+    j.field("schema", "cedar-bench-sweep-v1");
+    j.field("jobs", jobs == 0 ? core::defaultJobs() : jobs);
+    j.field("scale", scale);
+    j.field("repeat", repeat);
+    j.field("total_wall_s", total_wall);
+    j.key("apps").beginArray();
+    for (const auto &a : apps) {
+        j.beginObject();
+        j.field("app", a.app);
+        j.field("sweep_wall_s", a.sweepWallSec);
+        j.key("configs").beginArray();
+        for (const auto &c : a.configs) {
+            const auto &r = c.result;
+            j.beginObject();
+            j.field("procs", c.procs);
+            j.field("wall_s", c.wallSec);
+            j.field("events", r.eventsExecuted);
+            j.field("events_per_sec",
+                    c.wallSec > 0
+                        ? static_cast<double>(r.eventsExecuted) /
+                              c.wallSec
+                        : 0.0);
+            j.field("peak_pending", r.peakPending);
+            j.field("sim_ct_s", r.seconds());
+            j.field("status", sim::toString(r.status));
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+int
+usage()
+{
+    std::cerr << "usage: sweep_perf [--apps A,B,...] [--scale F] "
+                 "[--jobs N] [--repeat R] [--out FILE]\n";
+    return 2;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        out.push_back(tok);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    std::vector<std::string> names = bench::app_names;
+    double scale = 1.0;
+    unsigned jobs = 0;
+    unsigned repeat = 1;
+    std::string out = "BENCH_sweep.json";
+
+    try {
+        for (std::size_t i = 1; i < args.size(); ++i) {
+            auto value = [&]() -> const std::string & {
+                if (i + 1 >= args.size())
+                    throw std::invalid_argument(args[i] +
+                                                " needs a value");
+                return args[++i];
+            };
+            if (args[i] == "--apps")
+                names = splitCsv(value());
+            else if (args[i] == "--scale")
+                scale = std::stod(value());
+            else if (args[i] == "--jobs")
+                jobs = static_cast<unsigned>(std::stoul(value()));
+            else if (args[i] == "--repeat")
+                repeat = static_cast<unsigned>(std::stoul(value()));
+            else if (args[i] == "--out")
+                out = value();
+            else
+                return usage();
+        }
+
+        core::RunOptions opts;
+        opts.scale = scale;
+
+        std::vector<AppPerf> perfs;
+        const auto t0 = Clock::now();
+        for (const auto &name : names) {
+            const auto app = apps::perfectAppByName(name);
+            perfs.push_back(timeSweep(app, opts, jobs, repeat));
+            const auto &p = perfs.back();
+            std::cout << p.app << ": sweep " << p.sweepWallSec
+                      << " s wall";
+            for (const auto &c : p.configs) {
+                std::cout << "  [" << c.procs << "p "
+                          << static_cast<std::uint64_t>(
+                                 c.wallSec > 0
+                                     ? c.result.eventsExecuted /
+                                           c.wallSec
+                                     : 0)
+                          << " ev/s]";
+            }
+            std::cout << "\n";
+        }
+        const double total = secondsSince(t0);
+
+        std::ofstream f(out);
+        if (!f)
+            throw std::runtime_error("cannot write " + out);
+        writeJson(f, perfs, jobs, scale, repeat, total);
+        std::cout << "wrote " << out << " (" << total
+                  << " s total)\n";
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

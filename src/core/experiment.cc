@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include "core/parallel.hh"
 #include "fault/injector.hh"
 #include "hw/machine.hh"
 
@@ -65,6 +66,8 @@ runExperiment(const apps::AppModel &app, unsigned nprocs,
             ++r.parkedCes;
     }
     r.resourceWait = m.net().totalWaitTicks();
+    r.eventsExecuted = m.eq().executed();
+    r.peakPending = m.eq().peakPending();
 
     if (opts.collectTrace)
         r.trace = m.trace().records();
@@ -73,12 +76,12 @@ runExperiment(const apps::AppModel &app, unsigned nprocs,
 
 std::vector<RunResult>
 runSweep(const apps::AppModel &app, const RunOptions &opts,
-         const std::vector<unsigned> &procs)
+         const std::vector<unsigned> &procs, unsigned jobs)
 {
-    std::vector<RunResult> out;
-    out.reserve(procs.size());
-    for (unsigned p : procs)
-        out.push_back(runExperiment(app, p, opts));
+    std::vector<RunResult> out(procs.size());
+    parallelFor(procs.size(), jobs, [&](std::size_t i) {
+        out[i] = runExperiment(app, procs[i], opts);
+    });
     return out;
 }
 

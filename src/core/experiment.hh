@@ -70,6 +70,12 @@ struct RunResult
     sim::Tick resourceWait = 0;
     std::uint64_t globalWords = 0;
 
+    /** DES-kernel load: events executed and peak pending events.
+     *  Deterministic per run; the bench harness divides events by
+     *  host wall time to get events/sec. */
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t peakPending = 0;
+
     /** The cedarhpm trace (empty when tracing disabled). */
     std::vector<hpm::Record> trace;
 
@@ -131,11 +137,20 @@ struct RunOptions
 RunResult runExperiment(const apps::AppModel &app, unsigned nprocs,
                         const RunOptions &opts = {});
 
-/** Run the full configuration sweep the paper uses. */
+/**
+ * Run the full configuration sweep the paper uses.
+ *
+ * The runs are independent (per-run machine, RNG and accounting
+ * state) and execute on a thread pool of @p jobs workers: 0 means
+ * one per hardware thread, 1 preserves the strictly serial path.
+ * Results are ordered by @p procs and bit-identical to a serial
+ * sweep regardless of @p jobs.
+ */
 std::vector<RunResult> runSweep(const apps::AppModel &app,
                                 const RunOptions &opts = {},
                                 const std::vector<unsigned> &procs = {
-                                    1, 4, 8, 16, 32});
+                                    1, 4, 8, 16, 32},
+                                unsigned jobs = 0);
 
 } // namespace cedar::core
 

@@ -1,0 +1,67 @@
+#include "core/parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace cedar::core
+{
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (n == 0)
+        return;
+    if (jobs == 1 || n == 1) {
+        // Strictly serial: run in caller order on the calling
+        // thread. (With n == 1 a pool would only add overhead.)
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    const std::size_t workers =
+        n < static_cast<std::size_t>(jobs) ? n : jobs;
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 0; t + 1 < workers; ++t)
+        pool.emplace_back(worker);
+    worker(); // the calling thread is the last pool member
+    for (auto &t : pool)
+        t.join();
+
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace cedar::core

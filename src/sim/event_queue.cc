@@ -1,9 +1,8 @@
 #include "sim/event_queue.hh"
 
 #include <cassert>
+#include <limits>
 #include <utility>
-
-#include "sim/error.hh"
 
 namespace cedar::sim
 {
@@ -13,7 +12,33 @@ EventQueue::schedule(Tick when, Cont fn)
 {
     if (when < _now)
         throw ScheduleError("scheduling into the past");
-    events_.push(Item{when, nextSeq_++, std::move(fn)});
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        slots_[slot] = std::move(fn);
+    } else {
+        if (slots_.size() >
+            std::numeric_limits<std::uint32_t>::max())
+            throw ScheduleError("pending-event population overflow");
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(std::move(fn));
+    }
+    events_.push(Node{when, nextSeq_++, slot});
+    if (events_.size() > peakPending_)
+        peakPending_ = events_.size();
+}
+
+Cont
+EventQueue::popNext()
+{
+    const Node node = events_.popMin();
+    assert(node.when >= _now);
+    _now = node.when;
+    ++executed_;
+    Cont fn = std::move(slots_[node.slot]);
+    freeSlots_.push_back(node.slot);
+    return fn;
 }
 
 bool
@@ -23,42 +48,37 @@ EventQueue::run(std::uint64_t limit)
     while (!events_.empty()) {
         if (n >= limit)
             return false;
-        // priority_queue::top() is const; move out via const_cast is
-        // avoided by copying the (small) wrapper and popping.
-        Item item = std::move(const_cast<Item &>(events_.top()));
-        events_.pop();
-        assert(item.when >= _now);
-        _now = item.when;
         ++n;
-        ++executed_;
-        item.fn();
+        popNext()();
     }
     return true;
 }
 
-void
-EventQueue::runUntil(Tick until)
+bool
+EventQueue::runUntil(Tick until, std::uint64_t limit)
 {
-    while (!events_.empty() && events_.top().when <= until) {
-        Item item = std::move(const_cast<Item &>(events_.top()));
-        events_.pop();
-        _now = item.when;
-        ++executed_;
-        item.fn();
+    std::uint64_t n = 0;
+    while (!events_.empty() && events_.min().when <= until) {
+        if (n >= limit)
+            return false;
+        ++n;
+        popNext()();
     }
-    if (_now < until && events_.empty())
-        return;
-    if (_now < until)
+    if (_now < until && !events_.empty())
         _now = until;
+    return true;
 }
 
 void
 EventQueue::reset()
 {
-    events_ = {};
+    events_.clear();
+    slots_.clear();
+    freeSlots_.clear();
     _now = 0;
     nextSeq_ = 0;
     executed_ = 0;
+    peakPending_ = 0;
 }
 
 } // namespace cedar::sim

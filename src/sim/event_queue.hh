@@ -13,16 +13,25 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/dary_heap.hh"
+#include "sim/error.hh"
 #include "sim/types.hh"
 
 namespace cedar::sim
 {
 
 /**
- * The event queue: a priority queue of (tick, seq, callback).
+ * The event queue: a 4-ary indexed min-heap of (tick, seq) keys.
+ *
+ * The heap holds only small POD nodes ordered by (when, seq); each
+ * node carries the index of its callback in a slot pool, so sift
+ * operations move 24-byte keys instead of std::function payloads —
+ * the dominant cost of the old std::priority_queue design (which
+ * also required a const_cast move-out of top(), undefined
+ * behaviour). Freed slots are recycled through a free list, so the
+ * pool's size is bounded by the peak pending-event population.
  *
  * The queue owns simulated time. Model components never advance
  * time themselves; they schedule continuations and return.
@@ -46,8 +55,19 @@ class EventQueue
      */
     void schedule(Tick when, Cont fn);
 
-    /** Schedule a callback @p delta ticks from now. */
-    void scheduleIn(Tick delta, Cont fn) { schedule(_now + delta, fn); }
+    /**
+     * Schedule a callback @p delta ticks from now.
+     *
+     * @throws ScheduleError when now() + delta overflows Tick (a
+     *         silent wrap would schedule into the past).
+     */
+    void
+    scheduleIn(Tick delta, Cont fn)
+    {
+        if (delta > max_tick - _now)
+            throw ScheduleError("tick overflow: now + delta wraps");
+        schedule(_now + delta, std::move(fn));
+    }
 
     /** True when no events remain. */
     bool empty() const { return events_.empty(); }
@@ -55,8 +75,20 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return events_.size(); }
 
+    /** High-water mark of pending() over the queue's lifetime. */
+    std::size_t peakPending() const { return peakPending_; }
+
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
+
+    /** Pre-size heap and slot pool for an expected population. */
+    void
+    reserve(std::size_t n)
+    {
+        events_.reserve(n);
+        slots_.reserve(n);
+        freeSlots_.reserve(n);
+    }
 
     /**
      * Run events until the queue drains or @p limit events have
@@ -68,34 +100,50 @@ class EventQueue
 
     /**
      * Run events with timestamps <= @p until (inclusive), stopping
-     * early if the queue drains. Afterwards now() == until unless
-     * the queue drained before reaching it.
+     * early if the queue drains or @p limit events have executed.
+     * Unless the limit fires, afterwards now() == until (or the
+     * drain time if the queue drained before reaching it).
+     *
+     * @return true if the time boundary was reached (or the queue
+     *         drained), false if the event limit hit first — the
+     *         same budget/watchdog contract as run(limit).
      */
-    void runUntil(Tick until);
+    bool runUntil(Tick until, std::uint64_t limit = ~std::uint64_t(0));
 
     /** Reset time and drop all pending events. */
     void reset();
 
   private:
-    struct Item
+    /** Heap node: ordering key + slot index of the callback. */
+    struct Node
     {
         Tick when;
         std::uint64_t seq;
-        Cont fn;
+        std::uint32_t slot;
+    };
 
+    /** Order by time, ties by schedule order: deterministic runs. */
+    struct NodeLess
+    {
         bool
-        operator>(const Item &o) const
+        operator()(const Node &a, const Node &b) const
         {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
+            if (a.when != b.when)
+                return a.when < b.when;
+            return a.seq < b.seq;
         }
     };
 
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> events_;
+    /** Pop the minimum node, advance time, return its callback. */
+    Cont popNext();
+
+    DaryHeap<Node, NodeLess> events_;
+    std::vector<Cont> slots_;            //!< callback pool
+    std::vector<std::uint32_t> freeSlots_; //!< recyclable pool slots
     Tick _now = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t peakPending_ = 0;
 };
 
 } // namespace cedar::sim

@@ -255,6 +255,135 @@ TEST(ExperimentRunner, ScaleShrinksWork)
     EXPECT_LT(a.ct, b.ct);
 }
 
+// ----- parallel sweep: bit-identical to the serial path -----
+
+void
+expectAccountEq(const os::CeAccount &a, const os::CeAccount &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.cat, b.cat) << what;
+    EXPECT_EQ(a.osAct, b.osAct) << what;
+    EXPECT_EQ(a.userAct, b.userAct) << what;
+}
+
+/** Every field of RunResult, compared exactly. */
+void
+expectRunResultsIdentical(const core::RunResult &a,
+                          const core::RunResult &b)
+{
+    EXPECT_EQ(a.app, b.app);
+    ASSERT_EQ(a.nprocs, b.nprocs);
+    EXPECT_EQ(a.nClusters, b.nClusters);
+    EXPECT_EQ(a.cesPerCluster, b.cesPerCluster);
+    EXPECT_EQ(a.clockHz, b.clockHz);
+    EXPECT_EQ(a.ct, b.ct);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.faultLog.events(), b.faultLog.events());
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.accessesDegraded, b.accessesDegraded);
+    EXPECT_EQ(a.parkedCes, b.parkedCes);
+    ASSERT_EQ(a.clusterAcct.size(), b.clusterAcct.size());
+    for (std::size_t i = 0; i < a.clusterAcct.size(); ++i)
+        expectAccountEq(a.clusterAcct[i], b.clusterAcct[i],
+                        "cluster " + std::to_string(i));
+    expectAccountEq(a.totalAcct, b.totalAcct, "total");
+    ASSERT_EQ(a.ceAcct.size(), b.ceAcct.size());
+    for (std::size_t i = 0; i < a.ceAcct.size(); ++i)
+        expectAccountEq(a.ceAcct[i], b.ceAcct[i],
+                        "ce " + std::to_string(i));
+    EXPECT_EQ(a.clusterConcurrency, b.clusterConcurrency);
+    EXPECT_EQ(a.machineConcurrency, b.machineConcurrency);
+    ASSERT_EQ(a.windows.size(), b.windows.size());
+    for (std::size_t i = 0; i < a.windows.size(); ++i) {
+        EXPECT_EQ(a.windows[i].sxWall, b.windows[i].sxWall);
+        EXPECT_EQ(a.windows[i].mcWall, b.windows[i].mcWall);
+    }
+    EXPECT_EQ(a.rtlStats.loopsPosted, b.rtlStats.loopsPosted);
+    EXPECT_EQ(a.rtlStats.sdoallLoops, b.rtlStats.sdoallLoops);
+    EXPECT_EQ(a.rtlStats.xdoallLoops, b.rtlStats.xdoallLoops);
+    EXPECT_EQ(a.rtlStats.mcLoops, b.rtlStats.mcLoops);
+    EXPECT_EQ(a.rtlStats.cdoacrossLoops, b.rtlStats.cdoacrossLoops);
+    EXPECT_EQ(a.rtlStats.outerIters, b.rtlStats.outerIters);
+    EXPECT_EQ(a.rtlStats.bodiesExecuted, b.rtlStats.bodiesExecuted);
+    EXPECT_EQ(a.rtlStats.helperJoins, b.rtlStats.helperJoins);
+    EXPECT_EQ(a.rtlStats.stepsRun, b.rtlStats.stepsRun);
+    EXPECT_EQ(a.osStats.cpis, b.osStats.cpis);
+    EXPECT_EQ(a.osStats.ctxSwitches, b.osStats.ctxSwitches);
+    EXPECT_EQ(a.osStats.clusterSyscalls, b.osStats.clusterSyscalls);
+    EXPECT_EQ(a.osStats.globalSyscalls, b.osStats.globalSyscalls);
+    EXPECT_EQ(a.osStats.asts, b.osStats.asts);
+    EXPECT_EQ(a.osStats.ioBlocks, b.osStats.ioBlocks);
+    EXPECT_EQ(a.seqFaults, b.seqFaults);
+    EXPECT_EQ(a.concFaults, b.concFaults);
+    EXPECT_EQ(a.ceQueueStall, b.ceQueueStall);
+    EXPECT_EQ(a.resourceWait, b.resourceWait);
+    EXPECT_EQ(a.globalWords, b.globalWords);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.peakPending, b.peakPending);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].when, b.trace[i].when);
+        EXPECT_EQ(a.trace[i].arg, b.trace[i].arg);
+        EXPECT_EQ(a.trace[i].event, b.trace[i].event);
+        EXPECT_EQ(a.trace[i].ce, b.trace[i].ce);
+    }
+}
+
+TEST(ParallelSweep, BitIdenticalToSerial)
+{
+    core::RunOptions o;
+    o.scale = 0.25;
+    o.collectTrace = true;
+    const std::vector<unsigned> procs = {1, 4, 8};
+    const auto serial = core::runSweep(testApp(), o, procs, 1);
+    const auto parallel = core::runSweep(testApp(), o, procs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(procs[i]) + "p");
+        expectRunResultsIdentical(serial[i], parallel[i]);
+    }
+}
+
+TEST(ParallelSweep, BitIdenticalToSerialWithFaultInjection)
+{
+    core::RunOptions o;
+    o.scale = 0.25;
+    o.faults.push_back(fault::parseFaultSpec("module:3:degrade:4x"));
+    o.faults.push_back(fault::parseFaultSpec("ce:1:hiccup:p=1e-4"));
+    const std::vector<unsigned> procs = {4, 8};
+    const auto serial = core::runSweep(testApp(), o, procs, 1);
+    const auto parallel = core::runSweep(testApp(), o, procs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(procs[i]) + "p");
+        EXPECT_GT(serial[i].faultsInjected, 0u);
+        expectRunResultsIdentical(serial[i], parallel[i]);
+    }
+}
+
+TEST(ParallelSweep, DefaultJobsMatchesSerial)
+{
+    core::RunOptions o;
+    o.scale = 0.25;
+    const std::vector<unsigned> procs = {1, 8};
+    const auto serial = core::runSweep(testApp(), o, procs, 1);
+    const auto dflt = core::runSweep(testApp(), o, procs); // jobs = 0
+    ASSERT_EQ(serial.size(), dflt.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectRunResultsIdentical(serial[i], dflt[i]);
+}
+
+TEST(ParallelSweep, ExceptionsPropagateFromWorkers)
+{
+    // An unsupported configuration throws inside a worker thread;
+    // the caller must see the exception, not a crash or a silent
+    // partial result. (3 procs is not a Cedar configuration.)
+    core::RunOptions o;
+    o.scale = 0.25;
+    EXPECT_THROW(core::runSweep(testApp(), o, {1, 3, 4, 8}, 4),
+                 std::invalid_argument);
+}
+
 TEST(TableFormat, RendersAlignedColumns)
 {
     core::Table t({"name", "value"});

@@ -1,0 +1,182 @@
+#include "bench_json.hh"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace cedar::tools
+{
+
+std::string
+JsonWriter::quoted(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::array<char, 8> buf{};
+                std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf.data();
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan
+    // Shortest precision that round-trips: try increasing digit
+    // counts until parsing back gives the same value.
+    std::array<char, 40> buf{};
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf.data(), buf.size(), "%.*g", prec, v);
+        double back = 0;
+        std::sscanf(buf.data(), "%lf", &back);
+        if (back == v)
+            break;
+    }
+    return buf.data();
+}
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already emitted "...": for this value
+    }
+    if (!stack_.empty()) {
+        if (!firstInCtx_)
+            os_ << ',';
+        os_ << '\n';
+        indent();
+    }
+    firstInCtx_ = false;
+}
+
+void
+JsonWriter::indent()
+{
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    stack_.push_back(Ctx::object);
+    firstInCtx_ = true;
+    os_ << '{';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    stack_.pop_back();
+    if (!firstInCtx_) {
+        os_ << '\n';
+        indent();
+    }
+    firstInCtx_ = false;
+    os_ << '}';
+    if (stack_.empty())
+        os_ << '\n';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    stack_.push_back(Ctx::array);
+    firstInCtx_ = true;
+    os_ << '[';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    stack_.pop_back();
+    if (!firstInCtx_) {
+        os_ << '\n';
+        indent();
+    }
+    firstInCtx_ = false;
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separator();
+    os_ << quoted(k) << ": ";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    os_ << quoted(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    os_ << number(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separator();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+} // namespace cedar::tools

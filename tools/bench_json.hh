@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A tiny dependency-free JSON emitter for benchmark artifacts.
+ *
+ * The perf-regression harness (bench/sweep_perf) writes
+ * BENCH_sweep.json so every PR leaves a machine-readable performance
+ * trajectory behind. This writer covers exactly what that needs:
+ * nested objects/arrays, string/number/bool scalars, correct string
+ * escaping, and round-trippable numbers (shortest representation
+ * that parses back exactly). Commas and key/value ordering are
+ * handled by a context stack, so call sites read like the document.
+ */
+
+#ifndef CEDAR_TOOLS_BENCH_JSON_HH
+#define CEDAR_TOOLS_BENCH_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cedar::tools
+{
+
+/** Streaming JSON writer with automatic comma/indent management. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next emitted value belongs to it. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(std::int64_t(v)); }
+    JsonWriter &value(unsigned v) { return value(std::uint64_t(v)); }
+    JsonWriter &value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Escape + quote a string per RFC 8259. */
+    static std::string quoted(const std::string &s);
+
+    /** Shortest decimal form of @p v that round-trips exactly. */
+    static std::string number(double v);
+
+  private:
+    enum class Ctx { array, object };
+
+    void separator();
+    void indent();
+
+    std::ostream &os_;
+    std::vector<Ctx> stack_;
+    bool firstInCtx_ = true;
+    bool pendingKey_ = false;
+};
+
+} // namespace cedar::tools
+
+#endif // CEDAR_TOOLS_BENCH_JSON_HH

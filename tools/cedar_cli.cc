@@ -58,6 +58,7 @@ usage()
            "                     [--watchdog-events N]\n"
            "  cedar_cli run-file <workload.txt> <procs> [flags]\n"
            "  cedar_cli sweep    <app> [--seed N] [--scale F]\n"
+           "                     [--jobs N]  (0 = one per core)\n"
            "  cedar_cli faults   <app> [procs] [--seed N] [--scale F]\n"
            "  cedar_cli trace    <app> <procs> <outfile>\n"
            "  cedar_cli profile  <app> <procs>\n"
@@ -106,6 +107,8 @@ struct Flags
     bool prefetch = false;
     unsigned pickupBlock = 1;
     bool fuse = false;
+    /** Sweep worker threads; 0 = one per hardware thread. */
+    unsigned jobs = 0;
 };
 
 bool
@@ -136,6 +139,8 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
                 static_cast<unsigned>(parseCount(a, value()));
         } else if (a == "--gm-backoff") {
             f.opts.gmRetryBackoff = parseCount(a, value());
+        } else if (a == "--jobs") {
+            f.jobs = static_cast<unsigned>(parseCount(a, value()));
         } else if (a == "--prefetch") {
             f.prefetch = true;
         } else if (a == "--ctx-coop") {
@@ -328,7 +333,8 @@ cmdSweep(const std::vector<std::string> &args)
     if (!parseFlags(args, 3, f))
         return usage();
     const auto app = buildApp(args[2], f);
-    const auto sweep = core::runSweep(app, f.opts);
+    const auto sweep =
+        core::runSweep(app, f.opts, {1, 4, 8, 16, 32}, f.jobs);
 
     core::Table t({"config", "CT (s)", "speedup", "concurr", "OS %",
                    "main ovh %", "Ov_cont %"});
