@@ -6,8 +6,12 @@
  * *indirectly* (T_p_actual vs concurrency-scaled 1-processor loop
  * time) because a real machine cannot observe queueing directly.
  * The simulator can: every CE records the queueing its own traffic
- * experienced beyond the unloaded path latency. This bench prints
- * the paper-method estimate next to that ground truth.
+ * experienced beyond the unloaded path latency, and the metrics
+ * layer additionally attributes the queueing to the resource it
+ * happened at. This bench prints the paper-method estimate next to
+ * the CE-observed ground truth, split by resource class: memory
+ * modules, forward-path switch ports (stage 1 + stage 2) and
+ * return-path ports.
  */
 
 #include <iostream>
@@ -16,15 +20,35 @@
 
 using namespace cedar;
 
+namespace
+{
+
+double
+forwardSwitchPct(const core::RunResult &r)
+{
+    return core::groundTruthClassPct(r, obs::ResourceClass::stage1_port) +
+           core::groundTruthClassPct(r, obs::ResourceClass::stage2_port);
+}
+
+double
+returnSwitchPct(const core::RunResult &r)
+{
+    return core::groundTruthClassPct(r,
+                                     obs::ResourceClass::return_a_port) +
+           core::groundTruthClassPct(r, obs::ResourceClass::return_b_port);
+}
+
+} // namespace
+
 int
 main()
 {
     std::cout << "Ablation A3: paper's indirect contention estimate "
-                 "vs simulator ground truth\n(percent of completion "
+                 "vs per-resource ground truth\n(percent of completion "
                  "time)\n\n";
 
-    core::Table t({"Program", "Config", "Ov_cont (paper method)",
-                   "queueing (ground truth)"});
+    core::Table t({"Program", "Config", "Ov_cont (est)", "gt (CEs)",
+                   "gt memory", "gt fwd net", "gt ret net"});
 
     for (const auto &name : bench::app_names) {
         std::cerr << "running " << name << " sweep...\n";
@@ -37,7 +61,13 @@ main()
                       std::to_string(r.nprocs) + " proc",
                       core::Table::num(e.ovContPct, 1),
                       core::Table::num(
-                          core::groundTruthContentionPct(r), 1)});
+                          core::groundTruthContentionPct(r), 1),
+                      core::Table::num(
+                          core::groundTruthClassPct(
+                              r, obs::ResourceClass::memory_module),
+                          1),
+                      core::Table::num(forwardSwitchPct(r), 1),
+                      core::Table::num(returnSwitchPct(r), 1)});
         }
     }
     t.print(std::cout);
@@ -49,6 +79,16 @@ main()
            "higher because it also absorbs load-imbalance residue\n"
            "inside parallel-loop windows, and (for xdoall codes, per\n"
            "the paper's footnote 4) overlaps with the pick-up\n"
-           "overhead.\n";
+           "overhead.\n\n"
+           "The per-class split shows *where* the queueing happened:\n"
+           "the CE-observed total is apportioned by each resource\n"
+           "class's share of all server wait (per-chunk waits overlap\n"
+           "inside a pipelined burst, so the raw sums only carry\n"
+           "relative weight; the envelope the CEs experienced carries\n"
+           "the magnitude). The five class columns sum to the\n"
+           "CE-observed total. Memory modules dominate — the\n"
+           "interleaved memory is the system bottleneck and lock\n"
+           "words serialise on a single module — with the switch\n"
+           "ports contributing the rest.\n";
     return 0;
 }

@@ -59,23 +59,46 @@ decomposeCompletionTime(const RunResult &run, const RunResult &uni)
     return d;
 }
 
-double
-groundTruthContentionPct(const RunResult &run)
+namespace
 {
-    // Sum of per-CE queueing stalls, expressed like the paper's
-    // Ov_cont: wall-clock-equivalent excess over an unloaded
-    // machine, as a fraction of completion time. Stalls on
-    // different CEs overlap in wall time, so divide by the
-    // average parallel-loop concurrency of the machine.
+
+/**
+ * Express aggregate stall ticks like the paper's Ov_cont:
+ * wall-clock-equivalent excess over an unloaded machine, as a
+ * fraction of completion time. Stalls on different CEs overlap in
+ * wall time, so divide by the average parallel-loop concurrency of
+ * the machine.
+ */
+double
+stallPctOfCt(const RunResult &run, sim::Tick stall_ticks)
+{
     double par_total = 0;
     for (unsigned c = 0; c < run.nClusters; ++c)
         par_total += taskConcurrency(run, static_cast<sim::ClusterId>(c))
                          .parConcurr;
     if (par_total < 1.0)
         par_total = 1.0;
-    const double stall_sec = run.toSeconds(run.ceQueueStall) / par_total;
+    const double stall_sec = run.toSeconds(stall_ticks) / par_total;
     const double ct = run.seconds();
     return ct > 0 ? 100.0 * stall_sec / ct : 0.0;
+}
+
+} // namespace
+
+double
+groundTruthContentionPct(const RunResult &run)
+{
+    // Sum of per-CE queueing stalls on their own traffic.
+    return stallPctOfCt(run, run.ceQueueStall);
+}
+
+double
+groundTruthClassPct(const RunResult &run, obs::ResourceClass cls)
+{
+    if (run.metrics.classes.empty() || run.metrics.totalWaitTicks == 0)
+        return 0.0;
+    return groundTruthContentionPct(run) *
+           run.metrics.perClass(cls).waitShare;
 }
 
 } // namespace cedar::core

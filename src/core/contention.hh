@@ -21,6 +21,7 @@
 #define CEDAR_CORE_CONTENTION_HH
 
 #include "core/experiment.hh"
+#include "obs/resource.hh"
 #include "sim/types.hh"
 
 namespace cedar::core
@@ -45,6 +46,21 @@ ContentionEstimate estimateContention(const RunResult &run,
 
 /** Ground truth: queueing stall observed by CEs / CT, percent. */
 double groundTruthContentionPct(const RunResult &run);
+
+/**
+ * Per-resource-class ground truth: the CE-observed contention split
+ * by where the queueing happened.
+ *
+ * Raw server waits cannot be compared to wall-clock overheads
+ * directly — the chunks of one pipelined burst queue concurrently,
+ * so their waits sum to far more than the stall the CE experiences
+ * (which is the envelope, not the sum). What the per-server waits
+ * *do* measure exactly is the relative weight of each resource in
+ * the total queueing. So the class figure is
+ * groundTruthContentionPct() apportioned by the class's share of
+ * all resource wait; the five classes sum to the CE-observed total.
+ */
+double groundTruthClassPct(const RunResult &run, obs::ResourceClass cls);
 
 /**
  * Closure of the paper's decomposition: split the main task's

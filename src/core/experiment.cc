@@ -66,6 +66,7 @@ runExperiment(const apps::AppModel &app, unsigned nprocs,
             ++r.parkedCes;
     }
     r.resourceWait = m.net().totalWaitTicks();
+    r.metrics = obs::collectMetrics(m, r.ct);
     r.eventsExecuted = m.eq().executed();
     r.peakPending = m.eq().peakPending();
 

@@ -17,6 +17,7 @@
 #include "fault/fault.hh"
 #include "hpm/trace.hh"
 #include "hw/config.hh"
+#include "obs/metrics.hh"
 #include "os/accounting.hh"
 #include "os/xylem.hh"
 #include "rtl/runtime.hh"
@@ -69,6 +70,9 @@ struct RunResult
     /** Queueing wait accumulated inside switches and modules. */
     sim::Tick resourceWait = 0;
     std::uint64_t globalWords = 0;
+
+    /** Per-resource contention snapshot (modules, switch ports). */
+    obs::MetricsReport metrics;
 
     /** DES-kernel load: events executed and peak pending events.
      *  Deterministic per run; the bench harness divides events by

@@ -1,5 +1,7 @@
 #include "hpm/statfx.hh"
 
+#include "sim/error.hh"
+
 namespace cedar::hpm
 {
 
@@ -9,18 +11,28 @@ Statfx::Statfx(sim::EventQueue &eq, unsigned n_clusters,
     : eq_(eq), countActive_(std::move(count_active)), period_(period),
       activeSum_(n_clusters, 0)
 {
+    // A zero period would reschedule sample() at the current tick
+    // forever — a livelock the watchdog would kill mid-run.
+    if (period_ == 0)
+        throw sim::SimError("statfx: sampling period must be positive");
 }
 
 void
 Statfx::start()
 {
+    if (running_)
+        return; // idempotent: never chain a second sampling loop
     running_ = true;
-    eq_.scheduleIn(period_, [this] { sample(); });
+    if (!pending_) {
+        pending_ = true;
+        eq_.scheduleIn(period_, [this] { sample(); });
+    }
 }
 
 void
 Statfx::sample()
 {
+    pending_ = false;
     if (!running_)
         return;
     for (sim::ClusterId c = 0;
@@ -28,6 +40,7 @@ Statfx::sample()
         activeSum_[c] += countActive_(c);
     }
     ++samples_;
+    pending_ = true;
     eq_.scheduleIn(period_, [this] { sample(); });
 }
 

@@ -33,12 +33,19 @@ class Statfx
      * @param count_active callback returning the number of active
      *        CEs on a cluster right now.
      * @param period sampling period in ticks.
+     *
+     * @throws sim::SimError when @p period is zero (a zero period
+     *         would livelock the event queue at the current tick).
      */
     Statfx(sim::EventQueue &eq, unsigned n_clusters,
            std::function<unsigned(sim::ClusterId)> count_active,
            sim::Tick period);
 
-    /** Begin sampling; keeps rescheduling itself until stop(). */
+    /**
+     * Begin sampling; keeps rescheduling itself until stop().
+     * Idempotent: calling start() on a running (or restarted)
+     * monitor never chains a duplicate sampling loop.
+     */
     void start();
 
     /** Stop sampling (takes effect at the next sample point). */
@@ -59,6 +66,8 @@ class Statfx
     std::function<unsigned(sim::ClusterId)> countActive_;
     sim::Tick period_;
     bool running_ = false;
+    /** A sample() callback sits in the event queue right now. */
+    bool pending_ = false;
     std::uint64_t samples_ = 0;
     std::vector<std::uint64_t> activeSum_;
 };

@@ -31,6 +31,15 @@ Machine::Machine(const CedarConfig &cfg)
             clusters_.back()->ce(static_cast<int>(p)).setFaultLog(&flog_);
     }
     xylem_ = std::make_unique<os::Xylem>(*this);
+
+    // Feed every FIFO server's queueing waits into the per-class
+    // wait-latency histograms the metrics layer reports.
+    net_.visitPortsMut([this](const net::PortSite &s, sim::FifoServer &p) {
+        p.attachWaitHist(&waitHists_.of(obs::classFromBank(s.bank)));
+    });
+    for (unsigned m = 0; m < gmem_.map().numModules(); ++m)
+        gmem_.moduleServerMut(m).attachWaitHist(
+            &waitHists_.of(obs::ResourceClass::memory_module));
 }
 
 Machine::~Machine() = default;

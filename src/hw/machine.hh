@@ -18,6 +18,7 @@
 #include "hw/config.hh"
 #include "mem/global_memory.hh"
 #include "net/network.hh"
+#include "obs/resource.hh"
 #include "os/accounting.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -47,13 +48,18 @@ class Machine
     sim::EventQueue &eq() { return eq_; }
     sim::RandomGen &rng() { return rng_; }
     mem::GlobalMemory &gmem() { return gmem_; }
+    const mem::GlobalMemory &gmem() const { return gmem_; }
     net::Network &net() { return net_; }
+    const net::Network &net() const { return net_; }
     os::Accounting &acct() { return acct_; }
     hpm::Trace &trace() { return trace_; }
     hpm::Statfx &statfx() { return statfx_; }
     os::Xylem &xylem() { return *xylem_; }
     fault::FaultLog &faultLog() { return flog_; }
     const fault::FaultLog &faultLog() const { return flog_; }
+
+    /** Per-resource-class wait-latency histograms (obs layer). */
+    const obs::WaitHistograms &waitHists() const { return waitHists_; }
 
     unsigned numClusters() const { return cfg_.nClusters; }
     unsigned numCes() const { return cfg_.numCes(); }
@@ -91,6 +97,8 @@ class Machine
     std::unique_ptr<os::Xylem> xylem_;
     hpm::Statfx statfx_;
     fault::FaultLog flog_;
+    /** Wait histograms fed by every FIFO server (attached in ctor). */
+    obs::WaitHistograms waitHists_;
     sim::Addr nextAddr_ = 0;
     sim::Addr nextSync_ = 0;
 };

@@ -114,6 +114,9 @@ class GlobalMemory
         return modules_[m];
     }
 
+    /** Mutable module access, for wiring observability hooks. */
+    sim::FifoServer &moduleServerMut(unsigned m) { return modules_[m]; }
+
     /**
      * Install a service fault on module @p m.
      *

@@ -143,6 +143,42 @@ Network::stallSwitch(sim::Tick when, unsigned stage, unsigned idx,
         ret->port(p).serve(when, duration);
 }
 
+namespace
+{
+
+template <typename Banks, typename Fn>
+void
+visitBank(const char *tag, Banks &banks, Fn &&f)
+{
+    for (auto &xb : banks) {
+        for (unsigned p = 0; p < xb.numPorts(); ++p)
+            f(PortSite{tag, xb.name(), p}, xb.port(p));
+    }
+}
+
+} // namespace
+
+void
+Network::visitPorts(
+    const std::function<void(const PortSite &, const sim::FifoServer &)>
+        &f) const
+{
+    visitBank("stage1", stage1_, f);
+    visitBank("stage2", stage2In_, f);
+    visitBank("returnA", returnA_, f);
+    visitBank("returnB", returnB_, f);
+}
+
+void
+Network::visitPortsMut(
+    const std::function<void(const PortSite &, sim::FifoServer &)> &f)
+{
+    visitBank("stage1", stage1_, f);
+    visitBank("stage2", stage2In_, f);
+    visitBank("returnA", returnA_, f);
+    visitBank("returnB", returnB_, f);
+}
+
 sim::Tick
 Network::switchWaitTicks() const
 {

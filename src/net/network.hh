@@ -46,6 +46,19 @@ struct XferResult
 };
 
 /**
+ * Identity of one crossbar port, as handed to Network::visitPorts:
+ * the bank tag names the structural role (the observability layer
+ * maps it to a resource class), bankName is the owning crossbar's
+ * display name.
+ */
+struct PortSite
+{
+    const char *bank; //!< "stage1" | "stage2" | "returnA" | "returnB"
+    const std::string &bankName;
+    unsigned portIdx;
+};
+
+/**
  * The network plus the memory behind it; the single entry point the
  * CE's global interface uses for all global-memory traffic.
  */
@@ -109,6 +122,17 @@ class Network
 
     const Crossbar &stage1(sim::ClusterId c) const { return stage1_.at(c); }
     const Crossbar &stage2(unsigned g) const { return stage2In_.at(g); }
+
+    /** Visit every port server in the network (snapshotting). */
+    void visitPorts(
+        const std::function<void(const PortSite &,
+                                 const sim::FifoServer &)> &f) const;
+
+    /** Visit every port server for wiring (e.g. attaching the
+     *  observability layer's wait histograms). */
+    void visitPortsMut(
+        const std::function<void(const PortSite &, sim::FifoServer &)>
+            &f);
 
     /**
      * Human-readable utilisation report of every switch stage and

@@ -1,0 +1,134 @@
+#include "obs/chrome_trace.hh"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "bench_json.hh"
+#include "sim/error.hh"
+
+namespace cedar::obs
+{
+
+namespace
+{
+
+/** How one hpm event renders in the trace_event format. */
+struct EventShape
+{
+    char ph;          //!< 'B' begin, 'E' end, 'i' instant
+    const char *name; //!< slice/instant name
+    const char *cat;  //!< category ("rtl" or "os")
+};
+
+/** Shape for @p id; ph == 0 means the event is not exported. */
+EventShape
+shapeOf(hpm::EventId id)
+{
+    using E = hpm::EventId;
+    switch (id) {
+      case E::serial_enter: return {'B', "serial", "rtl"};
+      case E::serial_exit: return {'E', "serial", "rtl"};
+      case E::mcloop_enter: return {'B', "mc_loop", "rtl"};
+      case E::mcloop_exit: return {'E', "mc_loop", "rtl"};
+      case E::loop_setup_enter: return {'B', "loop_setup", "rtl"};
+      case E::loop_setup_exit: return {'E', "loop_setup", "rtl"};
+      case E::pickup_enter: return {'B', "pickup", "rtl"};
+      case E::pickup_exit: return {'E', "pickup", "rtl"};
+      case E::iter_start: return {'B', "iteration", "rtl"};
+      case E::iter_end: return {'E', "iteration", "rtl"};
+      case E::barrier_enter: return {'B', "barrier", "rtl"};
+      case E::barrier_exit: return {'E', "barrier", "rtl"};
+      case E::wait_enter: return {'B', "helper_wait", "rtl"};
+      case E::wait_exit: return {'E', "helper_wait", "rtl"};
+      case E::cls_sync_enter: return {'B', "cluster_sync", "rtl"};
+      case E::cls_sync_exit: return {'E', "cluster_sync", "rtl"};
+      case E::os_enter: return {'B', "os", "os"};
+      case E::os_exit: return {'E', "os", "os"};
+      case E::task_switch_out: return {'B', "switched_out", "os"};
+      case E::task_switch_in: return {'E', "switched_out", "os"};
+      case E::sdoall_post: return {'i', "sdoall_post", "rtl"};
+      case E::xdoall_post: return {'i', "xdoall_post", "rtl"};
+      case E::helper_join: return {'i', "helper_join", "rtl"};
+      case E::loop_done: return {'i', "loop_done", "rtl"};
+      case E::os_overlay: return {'i', "os_overlay", "os"};
+      default: return {0, "", ""};
+    }
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<hpm::Record> &recs,
+                 double clock_hz)
+{
+    if (clock_hz <= 0)
+        throw sim::SimError("chrome trace: clock must be positive");
+    const double us_per_tick = 1e6 / clock_hz;
+
+    tools::JsonWriter j(os);
+    j.beginObject();
+    j.key("traceEvents").beginArray();
+
+    // Metadata: name the process and one thread (track) per CE.
+    std::set<std::uint16_t> ces;
+    for (const auto &r : recs)
+        ces.insert(r.ce);
+    j.beginObject();
+    j.field("name", "process_name");
+    j.field("ph", "M");
+    j.field("pid", 0);
+    j.key("args").beginObject().field("name", "cedar").endObject();
+    j.endObject();
+    for (const auto ce : ces) {
+        j.beginObject();
+        j.field("name", "thread_name");
+        j.field("ph", "M");
+        j.field("pid", 0);
+        j.field("tid", static_cast<unsigned>(ce));
+        j.key("args")
+            .beginObject()
+            .field("name", "CE " + std::to_string(ce))
+            .endObject();
+        j.endObject();
+    }
+
+    for (const auto &r : recs) {
+        const auto shape = shapeOf(r.id());
+        if (shape.ph == 0)
+            continue;
+        j.beginObject();
+        j.field("name", shape.name);
+        j.field("cat", shape.cat);
+        j.field("ph", std::string(1, shape.ph));
+        j.field("ts", static_cast<double>(r.when) * us_per_tick);
+        j.field("pid", 0);
+        j.field("tid", static_cast<unsigned>(r.ce));
+        if (shape.ph == 'i')
+            j.field("s", "t"); // thread-scoped instant
+        j.key("args")
+            .beginObject()
+            .field("arg", r.arg)
+            .endObject();
+        j.endObject();
+    }
+
+    j.endArray();
+    j.field("displayTimeUnit", "ms");
+    j.endObject();
+}
+
+void
+convertTraceFile(const std::string &chpm_path,
+                 const std::string &json_path, double clock_hz)
+{
+    const auto recs = hpm::Trace::readFile(chpm_path);
+    std::ofstream f(json_path);
+    if (!f)
+        throw sim::SimError("chrome trace: cannot write " + json_path);
+    writeChromeTrace(f, recs, clock_hz);
+    if (!f)
+        throw sim::SimError("chrome trace: write failed: " + json_path);
+}
+
+} // namespace cedar::obs

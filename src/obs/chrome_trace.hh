@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Chrome trace_event export of cedarhpm traces.
+ *
+ * Converts the monitor's (event id, timestamp, CE) records into the
+ * Chrome/Perfetto trace_event JSON format so a run opens directly in
+ * chrome://tracing or ui.perfetto.dev: one track (tid) per CE,
+ * paired instrumentation points (iter_start/iter_end,
+ * barrier_enter/exit, os_enter/os_exit, ...) become duration slices,
+ * unpaired ones (loop posts, helper joins, OS overlays) become
+ * instant events. Timestamps are microseconds of simulated time
+ * (1 tick = 50 ns at the default clock).
+ */
+
+#ifndef CEDAR_OBS_CHROME_TRACE_HH
+#define CEDAR_OBS_CHROME_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hpm/trace.hh"
+#include "sim/types.hh"
+
+namespace cedar::obs
+{
+
+/**
+ * Write @p recs as a Chrome trace_event JSON document.
+ *
+ * @throws sim::SimError when @p clock_hz is not positive.
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<hpm::Record> &recs,
+                      double clock_hz = sim::default_clock_hz);
+
+/** Convert an off-loaded .chpm trace file to Chrome JSON. */
+void convertTraceFile(const std::string &chpm_path,
+                      const std::string &json_path,
+                      double clock_hz = sim::default_clock_hz);
+
+} // namespace cedar::obs
+
+#endif // CEDAR_OBS_CHROME_TRACE_HH

@@ -1,0 +1,253 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "bench_json.hh"
+#include "hw/machine.hh"
+#include "sim/error.hh"
+
+namespace cedar::obs
+{
+
+namespace
+{
+
+ResourceMetrics
+snapshotServer(std::string name, ResourceClass cls,
+               const sim::FifoServer &srv, sim::Tick elapsed)
+{
+    ResourceMetrics r;
+    r.name = std::move(name);
+    r.cls = cls;
+    r.requests = srv.stats().requests();
+    r.waitTicks = srv.stats().waitTicks();
+    r.busyTicks = srv.stats().busyTicks();
+    r.utilization = srv.stats().utilization(elapsed);
+    r.meanWait = srv.stats().meanWait();
+    return r;
+}
+
+/**
+ * Gini coefficient of @p xs via the sorted-rank formula:
+ * G = (2 * sum_i i*x_(i) / (n * sum x)) - (n + 1) / n, with x_(i)
+ * ascending and i starting at 1. 0 for a balanced load, -> 1 when
+ * one resource absorbs everything.
+ */
+double
+gini(std::vector<double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    double total = 0, weighted = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        total += xs[i];
+        weighted += static_cast<double>(i + 1) * xs[i];
+    }
+    if (total <= 0.0)
+        return 0.0;
+    const double n = static_cast<double>(xs.size());
+    return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+void
+writeHistJson(tools::JsonWriter &j, const sim::Histogram &h)
+{
+    j.beginObject();
+    j.field("bucket_width", static_cast<std::uint64_t>(h.bucketWidth()));
+    j.field("count", h.count());
+    j.field("max", static_cast<std::uint64_t>(h.maxSample()));
+    j.field("p50", static_cast<std::uint64_t>(h.percentile(0.5)));
+    j.field("p95", static_cast<std::uint64_t>(h.percentile(0.95)));
+    j.field("p99", static_cast<std::uint64_t>(h.percentile(0.99)));
+    j.key("buckets").beginArray();
+    for (const auto b : h.buckets())
+        j.value(b);
+    j.endArray();
+    j.endObject();
+}
+
+} // namespace
+
+MetricsReport
+collectMetrics(const hw::Machine &m, sim::Tick elapsed)
+{
+    MetricsReport rep;
+    rep.elapsed = elapsed ? elapsed : m.now();
+
+    rep.classes.resize(num_resource_classes);
+    for (std::size_t c = 0; c < num_resource_classes; ++c) {
+        rep.classes[c].cls = static_cast<ResourceClass>(c);
+        rep.classes[c].waitHist =
+            m.waitHists().perClass[c]; // per-request samples
+    }
+
+    const auto &gmem = m.gmem();
+    for (unsigned i = 0; i < gmem.map().numModules(); ++i) {
+        rep.resources.push_back(snapshotServer(
+            "module." + std::to_string(i), ResourceClass::memory_module,
+            gmem.moduleServer(i), rep.elapsed));
+    }
+    m.net().visitPorts(
+        [&](const net::PortSite &s, const sim::FifoServer &srv) {
+            rep.resources.push_back(snapshotServer(
+                s.bankName + ".port" + std::to_string(s.portIdx),
+                classFromBank(s.bank), srv, rep.elapsed));
+        });
+
+    for (const auto &r : rep.resources) {
+        auto &c = rep.classes[static_cast<std::size_t>(r.cls)];
+        ++c.resources;
+        c.requests += r.requests;
+        c.waitTicks += r.waitTicks;
+        c.busyTicks += r.busyTicks;
+        rep.totalWaitTicks += r.waitTicks;
+        rep.totalRequests += r.requests;
+    }
+    for (auto &c : rep.classes) {
+        c.utilization =
+            rep.elapsed && c.resources
+                ? static_cast<double>(c.busyTicks) /
+                      (static_cast<double>(rep.elapsed) * c.resources)
+                : 0.0;
+        c.waitShare = rep.totalWaitTicks
+                          ? static_cast<double>(c.waitTicks) /
+                                static_cast<double>(rep.totalWaitTicks)
+                          : 0.0;
+    }
+    for (auto &r : rep.resources) {
+        r.waitShare = rep.totalWaitTicks
+                          ? static_cast<double>(r.waitTicks) /
+                                static_cast<double>(rep.totalWaitTicks)
+                          : 0.0;
+    }
+
+    std::vector<double> moduleWaits;
+    for (unsigned i = 0; i < gmem.map().numModules(); ++i)
+        moduleWaits.push_back(static_cast<double>(
+            gmem.moduleServer(i).stats().waitTicks()));
+    rep.moduleGini = gini(std::move(moduleWaits));
+    return rep;
+}
+
+std::vector<ResourceMetrics>
+MetricsReport::topByWait(std::size_t k) const
+{
+    std::vector<ResourceMetrics> sorted = resources;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ResourceMetrics &a, const ResourceMetrics &b) {
+                  if (a.waitTicks != b.waitTicks)
+                      return a.waitTicks > b.waitTicks;
+                  return a.name < b.name; // deterministic ties
+              });
+    if (sorted.size() > k)
+        sorted.resize(k);
+    return sorted;
+}
+
+const ClassMetrics &
+MetricsReport::perClass(ResourceClass cls) const
+{
+    const auto idx = static_cast<std::size_t>(cls);
+    if (idx >= classes.size())
+        throw sim::SimError("metrics: no such resource class");
+    return classes[idx];
+}
+
+void
+MetricsReport::writeJson(std::ostream &os) const
+{
+    tools::JsonWriter j(os);
+    j.beginObject();
+    j.field("schema", "cedar-metrics-v1");
+    j.field("elapsed_ticks", static_cast<std::uint64_t>(elapsed));
+    j.field("total_wait_ticks", static_cast<std::uint64_t>(totalWaitTicks));
+    j.field("total_requests", totalRequests);
+    j.field("module_gini", moduleGini);
+
+    j.key("classes").beginArray();
+    for (const auto &c : classes) {
+        j.beginObject();
+        j.field("class", toString(c.cls));
+        j.field("resources", c.resources);
+        j.field("requests", c.requests);
+        j.field("wait_ticks", static_cast<std::uint64_t>(c.waitTicks));
+        j.field("busy_ticks", static_cast<std::uint64_t>(c.busyTicks));
+        j.field("utilization", c.utilization);
+        j.field("wait_share", c.waitShare);
+        j.key("wait_hist");
+        writeHistJson(j, c.waitHist);
+        j.endObject();
+    }
+    j.endArray();
+
+    j.key("hot_spots").beginArray();
+    for (const auto &r : topByWait(10)) {
+        j.beginObject();
+        j.field("name", r.name);
+        j.field("class", toString(r.cls));
+        j.field("wait_ticks", static_cast<std::uint64_t>(r.waitTicks));
+        j.field("wait_share", r.waitShare);
+        j.field("mean_wait", r.meanWait);
+        j.field("utilization", r.utilization);
+        j.endObject();
+    }
+    j.endArray();
+
+    j.key("resources").beginArray();
+    for (const auto &r : resources) {
+        j.beginObject();
+        j.field("name", r.name);
+        j.field("class", toString(r.cls));
+        j.field("requests", r.requests);
+        j.field("wait_ticks", static_cast<std::uint64_t>(r.waitTicks));
+        j.field("busy_ticks", static_cast<std::uint64_t>(r.busyTicks));
+        j.field("utilization", r.utilization);
+        j.field("mean_wait", r.meanWait);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+void
+MetricsReport::print(std::ostream &os, std::size_t top_k) const
+{
+    os << "per-resource contention over " << elapsed << " cycles ("
+       << totalRequests << " requests, " << totalWaitTicks
+       << " wait ticks)\n\n";
+
+    os << "resource classes:\n";
+    for (const auto &c : classes) {
+        os << "  " << std::left << std::setw(14) << toString(c.cls)
+           << std::right << std::setw(4) << c.resources << " x "
+           << std::setw(10) << c.requests << " req  " << std::fixed
+           << std::setprecision(1) << std::setw(5)
+           << 100.0 * c.utilization << "% busy  " << std::setw(5)
+           << 100.0 * c.waitShare << "% of wait  wait "
+           << c.waitHist.toString() << "\n";
+    }
+
+    // The paper's lock-word hot spot: one module's wait share far
+    // above the module mean marks the XDOALL pick-up word.
+    const auto &mem = perClass(ResourceClass::memory_module);
+    const double mean_module_share =
+        mem.resources ? mem.waitShare / mem.resources : 0.0;
+    os << "\nmodule wait imbalance (Gini): " << std::setprecision(3)
+       << moduleGini << "  (mean module wait share "
+       << std::setprecision(2) << 100.0 * mean_module_share << "%)\n";
+
+    os << "\ntop " << top_k << " hot spots by wait share:\n";
+    for (const auto &r : topByWait(top_k)) {
+        os << "  " << std::left << std::setw(24) << r.name << std::right
+           << std::fixed << std::setprecision(1) << std::setw(5)
+           << 100.0 * r.waitShare << "% of wait  " << std::setw(10)
+           << r.requests << " req  mean wait " << std::setw(7)
+           << r.meanWait << "  " << std::setprecision(1) << std::setw(5)
+           << 100.0 * r.utilization << "% busy\n";
+    }
+}
+
+} // namespace cedar::obs

@@ -1,0 +1,38 @@
+#include "obs/resource.hh"
+
+#include <cstring>
+
+#include "sim/error.hh"
+
+namespace cedar::obs
+{
+
+const char *
+toString(ResourceClass cls)
+{
+    switch (cls) {
+      case ResourceClass::memory_module: return "memory_module";
+      case ResourceClass::stage1_port: return "stage1_port";
+      case ResourceClass::stage2_port: return "stage2_port";
+      case ResourceClass::return_a_port: return "return_a_port";
+      case ResourceClass::return_b_port: return "return_b_port";
+      default: return "?";
+    }
+}
+
+ResourceClass
+classFromBank(const char *bank)
+{
+    if (std::strcmp(bank, "stage1") == 0)
+        return ResourceClass::stage1_port;
+    if (std::strcmp(bank, "stage2") == 0)
+        return ResourceClass::stage2_port;
+    if (std::strcmp(bank, "returnA") == 0)
+        return ResourceClass::return_a_port;
+    if (std::strcmp(bank, "returnB") == 0)
+        return ResourceClass::return_b_port;
+    throw sim::SimError(std::string("obs: unknown port bank '") + bank +
+                        "'");
+}
+
+} // namespace cedar::obs

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Resource classification for the observability layer.
+ *
+ * Every FIFO server in the machine belongs to exactly one resource
+ * class: a memory module, a stage-1 crossbar output port, a stage-2
+ * switch input port, or one of the two return-path port banks. The
+ * class is the unit at which wait-latency distributions are
+ * aggregated (a per-port histogram would be mostly empty buckets);
+ * per-*resource* counters stay exact in ServerStats.
+ *
+ * This header sits below mem/net/hw so the machine substrate can tag
+ * its servers without depending on the collection layer
+ * (obs/metrics.hh).
+ */
+
+#ifndef CEDAR_OBS_RESOURCE_HH
+#define CEDAR_OBS_RESOURCE_HH
+
+#include <array>
+#include <cstddef>
+
+#include "sim/stats.hh"
+
+namespace cedar::obs
+{
+
+/** The kinds of contended FIFO-server resources in the machine. */
+enum class ResourceClass : unsigned
+{
+    memory_module, //!< interleaved global-memory module
+    stage1_port,   //!< per-cluster stage-1 crossbar output port
+    stage2_port,   //!< stage-2 switch input port (fronts a group)
+    return_a_port, //!< return path, per-group output port
+    return_b_port, //!< return path, per-cluster output port to CEs
+    NUM
+};
+
+inline constexpr std::size_t num_resource_classes =
+    static_cast<std::size_t>(ResourceClass::NUM);
+
+const char *toString(ResourceClass cls);
+
+/** Map a port-bank tag ("stage1", "stage2", "returnA", "returnB")
+ *  to its resource class; memory modules are tagged directly. */
+ResourceClass classFromBank(const char *bank);
+
+/**
+ * One wait-latency histogram per resource class, fed by every
+ * FifoServer of that class (sim::FifoServer::attachWaitHist). Owned
+ * by hw::Machine so the samples accumulate over exactly one run.
+ *
+ * Bucket width 8 ticks resolves waits around the module service
+ * times (4/8 cycles); hot-spot pile-ups land in the overflow bucket
+ * and are reported through maxSample()/percentile().
+ */
+struct WaitHistograms
+{
+    WaitHistograms()
+    {
+        for (auto &h : perClass)
+            h = sim::Histogram(8, 64);
+    }
+
+    sim::Histogram &
+    of(ResourceClass cls)
+    {
+        return perClass[static_cast<std::size_t>(cls)];
+    }
+
+    const sim::Histogram &
+    of(ResourceClass cls) const
+    {
+        return perClass[static_cast<std::size_t>(cls)];
+    }
+
+    std::array<sim::Histogram, num_resource_classes> perClass;
+};
+
+} // namespace cedar::obs
+
+#endif // CEDAR_OBS_RESOURCE_HH

@@ -31,6 +31,8 @@ Runtime::Runtime(hw::Machine &m, const apps::AppModel &app)
     loopBuffers_.resize(app_.phases.size());
     loopShared_.resize(app_.phases.size());
     serialArenas_.resize(app_.phases.size());
+    loopIterCells_.resize(app_.phases.size());
+    loopAttachCells_.resize(app_.phases.size());
     for (std::size_t i = 0; i < app_.phases.size(); ++i) {
         if (const auto *l = std::get_if<LoopSpec>(&app_.phases[i])) {
             for (unsigned b = 0; b < std::max(1u, l->nBuffers); ++b) {
@@ -38,6 +40,14 @@ Runtime::Runtime(hw::Machine &m, const apps::AppModel &app)
                 loopShared_[i].push_back(m_.allocGlobal(
                     std::max(1u, l->sharedPages) * page_words));
             }
+            // Loop-control words live with the phase, not the
+            // instance: the compiler lays a loop's index and
+            // attached-count words out once, so every execution of
+            // the loop serialises on the same memory module.
+            loopIterCells_[i] =
+                std::make_unique<SyncCell>(m_, m_.allocSyncWord());
+            loopAttachCells_[i] =
+                std::make_unique<SyncCell>(m_, m_.allocSyncWord());
         } else if (const auto *s =
                        std::get_if<SerialSpec>(&app_.phases[i])) {
             const std::uint64_t total =
@@ -253,8 +263,14 @@ Runtime::newInstance(unsigned step, unsigned phase_idx, const LoopSpec &s)
     const auto &buffers = loopBuffers_[phase_idx];
     loop->region = buffers[step % buffers.size()];
     loop->sharedBase = loopShared_[phase_idx][step % buffers.size()];
-    loop->iterCell = std::make_unique<SyncCell>(m_, m_.allocSyncWord());
-    loop->attachCell = std::make_unique<SyncCell>(m_, m_.allocSyncWord());
+    loop->iterCell = loopIterCells_[phase_idx].get();
+    loop->attachCell = loopAttachCells_[phase_idx].get();
+    // Fresh instance, recycled words: start the iteration index and
+    // the attached-helpers count from zero again. Untimed, like the
+    // implicit zero of a fresh allocation; safe because the previous
+    // instance's finish barrier drained every waiter.
+    loop->iterCell->set(0);
+    loop->attachCell->set(0);
     loop->blocks.resize(m_.numClusters());
     if (s.kind == LoopKind::cdoacross)
         loop->serializer = std::make_unique<sim::FifoServer>();
@@ -424,13 +440,24 @@ Runtime::participate(sim::ClusterId c, const LoopPtr &loop, sim::Cont done)
 void
 Runtime::acquireIndexLock(hw::Ce &ce, const LoopPtr &loop, sim::Cont k)
 {
-    if (!loop->lockBusy) {
-        loop->lockBusy = true;
-        k();
-        return;
-    }
-    ce.beginWait();
-    loop->lockWaiters.emplace_back(&ce, std::move(k));
+    // The acquire is a real test&set: a 1-word RMW round trip to the
+    // module holding the index word. Every competing CE's attempt
+    // queues at that one module, which is what makes the lock word a
+    // hot spot (DESIGN §2). The lock state itself is host-side; a
+    // losing attempt parks the CE until the hand-off (a queue lock),
+    // so there is no retry storm — the paper found t&s retry polling
+    // negligible next to the initial burst.
+    ce.globalRmw(loop->iterCell->addr(),
+                 [](std::uint64_t n) { return n; }, UserAct::iter_pickup,
+                 [&ce, loop, k = std::move(k)](std::uint64_t) {
+        if (!loop->lockBusy) {
+            loop->lockBusy = true;
+            k();
+            return;
+        }
+        ce.beginWait();
+        loop->lockWaiters.emplace_back(&ce, std::move(k));
+    });
 }
 
 void

@@ -119,8 +119,17 @@ class Runtime
         const apps::LoopSpec *spec;
         sim::Addr region;
         sim::Addr sharedBase = 0; //!< shared lookup-table region
-        std::unique_ptr<SyncCell> iterCell;
-        std::unique_ptr<SyncCell> attachCell;
+        /**
+         * The loop-control words, owned by the Runtime: they are
+         * allocated once per phase (like the loop's data regions)
+         * and reused across instances, so a loop executed every
+         * step hammers the *same* memory module each time — the
+         * aggregate lock-word hot spot of Section 6. Instances
+         * never overlap (loops are posted one at a time), so a
+         * value reset at posting is all the reuse needs.
+         */
+        SyncCell *iterCell = nullptr;
+        SyncCell *attachCell = nullptr;
         /** cdoacross: FIFO ticket server for the serialised region. */
         std::unique_ptr<sim::FifoServer> serializer;
         bool open = true;
@@ -218,6 +227,9 @@ class Runtime
     std::vector<std::vector<sim::Addr>> loopBuffers_; //!< per phase
     std::vector<std::vector<sim::Addr>> loopShared_;  //!< per phase
     std::vector<SerialArena> serialArenas_;           //!< per phase
+    /** Loop-control sync words, one pair per loop phase. */
+    std::vector<std::unique_ptr<SyncCell>> loopIterCells_;
+    std::vector<std::unique_ptr<SyncCell>> loopAttachCells_;
     std::vector<sim::RandomGen> ceRng_;
     std::vector<ClusterWindow> windows_;
     std::vector<sim::Tick> windowEnterAt_;

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 
+#include "sim/error.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -29,14 +30,12 @@ class FifoServer
      * Reserve @p service ticks starting no earlier than @p arrival.
      *
      * @return completion tick of this request.
+     * @throws SimError when start + service would overflow Tick.
      */
     Tick
     serve(Tick arrival, Tick service)
     {
-        const Tick start = std::max(arrival, freeAt_);
-        stats_.record(start - arrival, service);
-        freeAt_ = start + service;
-        return freeAt_;
+        return serve(arrival, service, 0);
     }
 
     /**
@@ -45,13 +44,23 @@ class FifoServer
      * counts as queueing (the requester experiences it as such);
      * used by fault-degraded modules whose service floor postpones
      * work past a stuck window.
+     *
+     * @throws SimError when start + service would overflow Tick —
+     *         fault-injected not_before windows can push the start
+     *         near the tick ceiling (mirrors EventQueue::scheduleIn).
      */
     Tick
     serve(Tick arrival, Tick service, Tick not_before)
     {
         const Tick start =
             std::max(std::max(arrival, not_before), freeAt_);
-        stats_.record(start - arrival, service);
+        if (service > max_tick - start)
+            throw SimError(
+                "fifo server: tick overflow (start + service wraps)");
+        const Tick wait = start - arrival;
+        stats_.record(wait, service);
+        if (waitHist_)
+            waitHist_->sample(wait);
         freeAt_ = start + service;
         return freeAt_;
     }
@@ -61,6 +70,14 @@ class FifoServer
 
     /** Cumulative queueing/busy statistics. */
     const ServerStats &stats() const { return stats_; }
+
+    /**
+     * Attach a wait-latency histogram: every subsequent request's
+     * queueing wait is also sampled into @p h (nullptr detaches).
+     * The observability layer aggregates one histogram per resource
+     * class; the histogram must outlive the server's use.
+     */
+    void attachWaitHist(Histogram *h) { waitHist_ = h; }
 
     void
     reset()
@@ -72,6 +89,7 @@ class FifoServer
   private:
     Tick freeAt_ = 0;
     ServerStats stats_;
+    Histogram *waitHist_ = nullptr;
 };
 
 } // namespace cedar::sim

@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <cmath>
 #include <sstream>
 
 namespace cedar::sim
@@ -26,14 +27,23 @@ Histogram::percentile(double frac) const
 {
     if (count_ == 0)
         return 0;
-    const auto target =
-        static_cast<std::uint64_t>(frac * static_cast<double>(count_));
+    frac = std::clamp(frac, 0.0, 1.0);
+    // Ceil semantics: the smallest v covering at least frac of the
+    // samples. frac == 0 asks for an empty fraction: 0 samples are
+    // <= 0, so return 0 rather than the first bucket's bound.
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(frac * static_cast<double>(count_)));
+    if (target == 0)
+        return 0;
     std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
         seen += buckets_[i];
         if (seen >= target)
-            return static_cast<Tick>(i + 1) * width_;
+            return std::min(static_cast<Tick>(i + 1) * width_, max_);
     }
+    // Samples clamped into the overflow bucket can lie arbitrarily
+    // far beyond its nominal bound; maxSample() is the only honest
+    // upper estimate there.
     return max_;
 }
 

@@ -12,6 +12,7 @@
 
 #include "hpm/statfx.hh"
 #include "hpm/trace.hh"
+#include "sim/error.hh"
 #include "sim/event_queue.hh"
 
 namespace
@@ -168,6 +169,48 @@ TEST(Statfx, AveragesActiveCounts)
     EXPECT_NEAR(fx.clusterConcurrency(0), 2.0, 0.25);
     EXPECT_DOUBLE_EQ(fx.clusterConcurrency(1), 0.0);
     EXPECT_NEAR(fx.machineConcurrency(), fx.clusterConcurrency(0), 1e-9);
+}
+
+TEST(Statfx, ZeroPeriodThrows)
+{
+    // A zero period would reschedule sample() at the current tick
+    // forever — a livelock the watchdog would abort the run for.
+    sim::EventQueue eq;
+    EXPECT_THROW(
+        hpm::Statfx(eq, 1, [](sim::ClusterId) { return 1u; }, 0),
+        sim::SimError);
+}
+
+TEST(Statfx, StartIsIdempotent)
+{
+    sim::EventQueue eq;
+    hpm::Statfx fx(eq, 1, [](sim::ClusterId) { return 1u; }, 100);
+    fx.start();
+    fx.start(); // must not chain a second sampling loop
+    eq.scheduleIn(500, [&fx] { fx.start(); });
+    eq.runUntil(1000);
+    fx.stop();
+    eq.run();
+    // One sample every 100 ticks over 1000 ticks, not two or three
+    // interleaved loops' worth.
+    EXPECT_LE(fx.samples(), 11u);
+    EXPECT_GE(fx.samples(), 9u);
+}
+
+TEST(Statfx, RestartAfterStopResumesWithoutDuplicates)
+{
+    sim::EventQueue eq;
+    hpm::Statfx fx(eq, 1, [](sim::ClusterId) { return 1u; }, 100);
+    fx.start();
+    eq.runUntil(500);
+    fx.stop();
+    // The stop takes effect at the next sample point; restarting
+    // while that callback is still queued must not add another.
+    fx.start();
+    eq.runUntil(1000);
+    fx.stop();
+    eq.run();
+    EXPECT_LE(fx.samples(), 11u);
 }
 
 TEST(Statfx, StopsCleanly)

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the observability layer: per-resource metrics
+ * collection, hot-spot attribution, JSON export determinism and the
+ * Chrome trace_event converter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "apps/perfect.hh"
+#include "core/experiment.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
+#include "obs/resource.hh"
+#include "sim/error.hh"
+
+namespace
+{
+
+using namespace cedar;
+
+core::RunOptions
+quickOpts()
+{
+    core::RunOptions opts;
+    opts.scale = 0.05;
+    return opts;
+}
+
+// ----- resource classification -----
+
+TEST(Resource, EveryClassHasAName)
+{
+    for (std::size_t i = 0; i < obs::num_resource_classes; ++i)
+        EXPECT_STRNE(obs::toString(static_cast<obs::ResourceClass>(i)),
+                     "?");
+}
+
+TEST(Resource, BankTagsMapToClasses)
+{
+    EXPECT_EQ(obs::classFromBank("stage1"),
+              obs::ResourceClass::stage1_port);
+    EXPECT_EQ(obs::classFromBank("stage2"),
+              obs::ResourceClass::stage2_port);
+    EXPECT_EQ(obs::classFromBank("returnA"),
+              obs::ResourceClass::return_a_port);
+    EXPECT_EQ(obs::classFromBank("returnB"),
+              obs::ResourceClass::return_b_port);
+    EXPECT_THROW(obs::classFromBank("bogus"), sim::SimError);
+}
+
+// ----- metrics collection -----
+
+TEST(Metrics, ReportSatisfiesAccountingInvariants)
+{
+    const auto app = apps::perfectAppByName("FLO52");
+    const auto r = core::runExperiment(app, 8, quickOpts());
+    const auto &m = r.metrics;
+
+    ASSERT_EQ(m.classes.size(), obs::num_resource_classes);
+    ASSERT_FALSE(m.resources.empty());
+    EXPECT_EQ(m.elapsed, r.ct);
+
+    // Class aggregates partition the per-resource counters.
+    std::uint64_t req = 0;
+    sim::Tick wait = 0;
+    unsigned resources = 0;
+    for (const auto &c : m.classes) {
+        req += c.requests;
+        wait += c.waitTicks;
+        resources += c.resources;
+    }
+    EXPECT_EQ(req, m.totalRequests);
+    EXPECT_EQ(wait, m.totalWaitTicks);
+    EXPECT_EQ(resources, m.resources.size());
+
+    // Wait shares are a distribution over the resources.
+    double share = 0;
+    for (const auto &res : m.resources) {
+        EXPECT_GE(res.waitShare, 0.0);
+        share += res.waitShare;
+    }
+    if (m.totalWaitTicks > 0)
+        EXPECT_NEAR(share, 1.0, 1e-9);
+
+    // The run really went through the network.
+    EXPECT_GT(m.totalRequests, 0u);
+    EXPECT_GT(m.perClass(obs::ResourceClass::memory_module).requests,
+              0u);
+    EXPECT_GE(m.moduleGini, 0.0);
+    EXPECT_LE(m.moduleGini, 1.0);
+
+    // The per-class wait histograms saw every module request.
+    EXPECT_EQ(m.perClass(obs::ResourceClass::memory_module)
+                  .waitHist.count(),
+              m.perClass(obs::ResourceClass::memory_module).requests);
+}
+
+TEST(Metrics, TopByWaitIsSortedAndBounded)
+{
+    const auto app = apps::perfectAppByName("FLO52");
+    const auto r = core::runExperiment(app, 8, quickOpts());
+    const auto top = r.metrics.topByWait(5);
+    ASSERT_LE(top.size(), 5u);
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].waitTicks, top[i].waitTicks);
+    // Asking for more than exists returns everything.
+    EXPECT_EQ(r.metrics.topByWait(1u << 20).size(),
+              r.metrics.resources.size());
+}
+
+TEST(Metrics, XdoallLockWordModuleIsTheHotSpot)
+{
+    // The paper's Section-6 hot spot: ADM is xdoall-only, so the
+    // per-phase iteration-index words concentrate RMW traffic on
+    // their modules and the top module's wait share must clearly
+    // exceed the across-module mean.
+    const auto app = apps::perfectAppByName("ADM");
+    core::RunOptions opts;
+    opts.scale = 0.3;
+    const auto r = core::runExperiment(app, 32, opts);
+    const auto top = r.metrics.topByWait(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].cls, obs::ResourceClass::memory_module);
+
+    const auto &mods =
+        r.metrics.perClass(obs::ResourceClass::memory_module);
+    const double mean_share =
+        mods.waitShare / std::max(1u, mods.resources);
+    EXPECT_GT(top[0].waitShare, 1.5 * mean_share);
+    EXPECT_GT(r.metrics.moduleGini, 0.05);
+}
+
+TEST(Metrics, JsonExportIsIdenticalAcrossSweepJobCounts)
+{
+    // The sweep must be bit-deterministic regardless of the worker
+    // count; the metrics JSON document is the strictest observable
+    // (it serialises every counter and histogram).
+    const auto app = apps::perfectAppByName("FLO52");
+    const std::vector<unsigned> procs{1, 4};
+    const auto serial = core::runSweep(app, quickOpts(), procs, 1);
+    const auto parallel = core::runSweep(app, quickOpts(), procs, 2);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        std::ostringstream a, b;
+        serial[i].metrics.writeJson(a);
+        parallel[i].metrics.writeJson(b);
+        EXPECT_EQ(a.str(), b.str()) << "config " << procs[i];
+    }
+}
+
+TEST(Metrics, JsonAndHumanReportsAreNonEmpty)
+{
+    const auto app = apps::perfectAppByName("FLO52");
+    const auto r = core::runExperiment(app, 4, quickOpts());
+    std::ostringstream js, hu;
+    r.metrics.writeJson(js);
+    r.metrics.print(hu);
+    EXPECT_NE(js.str().find("cedar-metrics-v1"), std::string::npos);
+    EXPECT_NE(js.str().find("hot_spots"), std::string::npos);
+    EXPECT_NE(hu.str().find("module wait imbalance"),
+              std::string::npos);
+}
+
+// ----- Chrome trace_event export -----
+
+TEST(ChromeTrace, RejectsNonPositiveClock)
+{
+    std::ostringstream os;
+    EXPECT_THROW(obs::writeChromeTrace(os, {}, 0.0), sim::SimError);
+    EXPECT_THROW(obs::writeChromeTrace(os, {}, -1.0), sim::SimError);
+}
+
+TEST(ChromeTrace, GoldenDocumentForFixedRecords)
+{
+    const std::vector<hpm::Record> recs = {
+        {0, hpm::packLoopRef(1, 7),
+         static_cast<std::uint16_t>(hpm::EventId::xdoall_post), 0},
+        {2, 7, static_cast<std::uint16_t>(hpm::EventId::pickup_enter),
+         1},
+        {10, 7, static_cast<std::uint16_t>(hpm::EventId::pickup_exit),
+         1},
+        {12, 3, static_cast<std::uint16_t>(hpm::EventId::os_overlay),
+         0},
+    };
+    std::ostringstream ss;
+    obs::writeChromeTrace(ss, recs);
+    const std::string golden = R"({
+  "traceEvents": [
+    {
+      "name": "process_name",
+      "ph": "M",
+      "pid": 0,
+      "args": {
+        "name": "cedar"
+      }
+    },
+    {
+      "name": "thread_name",
+      "ph": "M",
+      "pid": 0,
+      "tid": 0,
+      "args": {
+        "name": "CE 0"
+      }
+    },
+    {
+      "name": "thread_name",
+      "ph": "M",
+      "pid": 0,
+      "tid": 1,
+      "args": {
+        "name": "CE 1"
+      }
+    },
+    {
+      "name": "xdoall_post",
+      "cat": "rtl",
+      "ph": "i",
+      "ts": 0,
+      "pid": 0,
+      "tid": 0,
+      "s": "t",
+      "args": {
+        "arg": 16777223
+      }
+    },
+    {
+      "name": "pickup",
+      "cat": "rtl",
+      "ph": "B",
+      "ts": 0.1,
+      "pid": 0,
+      "tid": 1,
+      "args": {
+        "arg": 7
+      }
+    },
+    {
+      "name": "pickup",
+      "cat": "rtl",
+      "ph": "E",
+      "ts": 0.5,
+      "pid": 0,
+      "tid": 1,
+      "args": {
+        "arg": 7
+      }
+    },
+    {
+      "name": "os_overlay",
+      "cat": "os",
+      "ph": "i",
+      "ts": 0.6000000000000001,
+      "pid": 0,
+      "tid": 0,
+      "s": "t",
+      "args": {
+        "arg": 3
+      }
+    }
+  ],
+  "displayTimeUnit": "ms"
+}
+)";
+    EXPECT_EQ(ss.str(), golden);
+}
+
+TEST(ChromeTrace, ConvertsAnOffloadedTraceFile)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string chpm = dir + "/obs_test.chpm";
+    const std::string json = dir + "/obs_test.json";
+
+    hpm::Trace t;
+    t.post(100, 0, hpm::EventId::serial_enter, 1);
+    t.post(900, 0, hpm::EventId::serial_exit, 1);
+    t.writeFile(chpm);
+
+    obs::convertTraceFile(chpm, json);
+    std::ifstream f(json);
+    ASSERT_TRUE(f.good());
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_NE(ss.str().find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(ss.str().find("\"serial\""), std::string::npos);
+
+    std::remove(chpm.c_str());
+    std::remove(json.c_str());
+}
+
+} // namespace

@@ -420,6 +420,69 @@ TEST(Histogram, OverflowGoesToLastBucket)
     EXPECT_EQ(h.buckets().back(), 1u);
 }
 
+TEST(ServerStats, EmptyStatsReportZeroMeansAndUtilization)
+{
+    ServerStats st;
+    EXPECT_EQ(st.requests(), 0u);
+    EXPECT_DOUBLE_EQ(st.meanWait(), 0.0);
+    EXPECT_DOUBLE_EQ(st.utilization(100), 0.0);
+    // A zero observation window must not divide by zero either.
+    st.record(5, 10);
+    EXPECT_DOUBLE_EQ(st.utilization(0), 0.0);
+}
+
+TEST(ServerStats, UtilizationCanExceedOneWhenOversubscribed)
+{
+    // Busy ticks are reservation time; a window shorter than the
+    // reservations (mid-run snapshot) reports >1 rather than
+    // clamping, so the anomaly is visible to the caller.
+    ServerStats st;
+    st.record(0, 30);
+    EXPECT_DOUBLE_EQ(st.utilization(20), 1.5);
+}
+
+TEST(Histogram, PercentileZeroIsZeroAndFracIsClamped)
+{
+    Histogram h(10, 8);
+    for (Tick v = 5; v < 40; v += 10)
+        h.sample(v);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(-1.0), 0u);
+    // Above-1 fractions clamp to the maximum sample, not beyond.
+    EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Histogram, FullPercentileEqualsMaxSample)
+{
+    // The overflow bucket must not make high percentiles report
+    // below the maximum observed value.
+    Histogram h(10, 4);
+    h.sample(3);
+    h.sample(12);
+    h.sample(1000); // overflow bucket
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+    EXPECT_EQ(h.maxSample(), 1000u);
+}
+
+TEST(Histogram, PercentileNeverExceedsMaxSampleProperty)
+{
+    RandomGen rng(42);
+    for (int round = 0; round < 20; ++round) {
+        Histogram h(rng.range(1, 16), rng.range(2, 31));
+        const auto n = rng.range(1, 200);
+        for (std::uint64_t i = 0; i < n; ++i)
+            h.sample(rng.below(2000));
+        Tick prev = 0;
+        for (double frac : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+            const Tick p = h.percentile(frac);
+            EXPECT_GE(p, prev);
+            EXPECT_LE(p, h.maxSample());
+            prev = p;
+        }
+        EXPECT_EQ(h.percentile(1.0), h.maxSample());
+    }
+}
+
 TEST(FifoServer, IdleServerStartsImmediately)
 {
     FifoServer s;
@@ -451,6 +514,19 @@ TEST(FifoServer, ResetClearsTimeline)
     s.reset();
     EXPECT_EQ(s.freeAt(), 0u);
     EXPECT_EQ(s.serve(0, 5), 5u);
+}
+
+TEST(FifoServer, OverflowingReservationThrows)
+{
+    // A fault-injected not_before window can push the start near the
+    // tick ceiling; the reservation must fail loudly, not wrap.
+    FifoServer s;
+    EXPECT_THROW(s.serve(0, 2, max_tick - 1), SimError);
+    FifoServer s2;
+    EXPECT_THROW(s2.serve(max_tick, 1), SimError);
+    // At the exact ceiling the reservation still fits.
+    FifoServer s3;
+    EXPECT_EQ(s3.serve(max_tick - 1, 1), max_tick);
 }
 
 /** Property: a FIFO server's completions are monotone in arrival

@@ -10,7 +10,13 @@
  *              Table-1-style summary.
  *   faults   — run the canonical fault-injection degradation matrix
  *              and show how the contention estimate responds.
- *   trace    — run with cedarhpm enabled and write the trace file.
+ *   metrics  — run and print the per-resource contention report
+ *              (hot spots, class summaries, module imbalance);
+ *              --json writes the machine-readable document.
+ *   trace    — run with cedarhpm enabled and write the trace file;
+ *              --chrome writes Chrome trace_event JSON instead (and
+ *              `trace --chrome in.chpm out.json` converts an
+ *              existing trace for chrome://tracing / Perfetto).
  *   apps     — list the built-in application models.
  *
  * Examples:
@@ -19,10 +25,15 @@
  *   cedar_cli run FLO52 16 --inject module:7:degrade:4x
  *   cedar_cli sweep ADM
  *   cedar_cli faults FLO52
+ *   cedar_cli metrics ADM 32 --json adm.metrics.json
  *   cedar_cli trace OCEAN 16 /tmp/ocean.chpm
+ *   cedar_cli trace OCEAN 16 /tmp/ocean.json --chrome
+ *   cedar_cli trace --chrome /tmp/ocean.chpm /tmp/ocean.json
  */
 
+#include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -38,6 +49,8 @@
 #include "core/table.hh"
 #include "fault/fault.hh"
 #include "hpm/trace.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
 #include "sim/error.hh"
 
 using namespace cedar;
@@ -60,7 +73,11 @@ usage()
            "  cedar_cli sweep    <app> [--seed N] [--scale F]\n"
            "                     [--jobs N]  (0 = one per core)\n"
            "  cedar_cli faults   <app> [procs] [--seed N] [--scale F]\n"
-           "  cedar_cli trace    <app> <procs> <outfile>\n"
+           "  cedar_cli metrics  <app> <procs> [--top K] [--json FILE]\n"
+           "                     [run flags]\n"
+           "  cedar_cli trace    <app> <procs> <outfile> [--chrome]\n"
+           "                     [run flags]\n"
+           "  cedar_cli trace    --chrome <in.chpm> <out.json>\n"
            "  cedar_cli profile  <app> <procs>\n"
            "  cedar_cli apps\n"
            "\napps: FLO52 ARC2D MDG OCEAN ADM\n"
@@ -109,6 +126,9 @@ struct Flags
     bool fuse = false;
     /** Sweep worker threads; 0 = one per hardware thread. */
     unsigned jobs = 0;
+    /** metrics: hot spots to list / optional JSON output path. */
+    unsigned top = 10;
+    std::string jsonOut;
 };
 
 bool
@@ -141,6 +161,10 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
             f.opts.gmRetryBackoff = parseCount(a, value());
         } else if (a == "--jobs") {
             f.jobs = static_cast<unsigned>(parseCount(a, value()));
+        } else if (a == "--top") {
+            f.top = static_cast<unsigned>(parseCount(a, value()));
+        } else if (a == "--json") {
+            f.jsonOut = value();
         } else if (a == "--prefetch") {
             f.prefetch = true;
         } else if (a == "--ctx-coop") {
@@ -437,17 +461,95 @@ cmdFaults(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * Per-resource contention report: where the queueing concentrated
+ * (the paper's lock-word hot spot lights up one memory module under
+ * ADM/XDOALL), how imbalanced the modules are, and per-class wait
+ * distributions. --json writes the machine-readable document.
+ */
+int
+cmdMetrics(const std::vector<std::string> &args)
+{
+    if (args.size() < 4)
+        return usage();
+    Flags f;
+    if (!parseFlags(args, 4, f))
+        return usage();
+    const auto app = buildApp(args[2], f);
+    const unsigned procs =
+        static_cast<unsigned>(parseCount("processor count", args[3]));
+    const auto r = core::runExperiment(app, procs, f.opts);
+
+    std::cout << r.app << " on " << r.nprocs
+              << " processors — contention metrics\n\n";
+    if (r.status != sim::RunStatus::Completed)
+        std::cout << "run status: " << sim::toString(r.status) << "\n";
+    printFaultSummary(r);
+    r.metrics.print(std::cout, f.top);
+
+    const auto &mem =
+        r.metrics.perClass(obs::ResourceClass::memory_module);
+    const auto hot = r.metrics.topByWait(1);
+    if (!hot.empty() && mem.resources > 0) {
+        const double mean_share = mem.waitShare / mem.resources;
+        std::cout << "\ntop hot spot " << hot.front().name << " holds "
+                  << core::Table::num(100.0 * hot.front().waitShare, 1)
+                  << "% of all queueing wait ("
+                  << core::Table::num(
+                         mean_share > 0
+                             ? hot.front().waitShare / mean_share
+                             : 0.0,
+                         1)
+                  << "x the module mean)\n";
+    }
+
+    if (!f.jsonOut.empty()) {
+        std::ofstream out(f.jsonOut);
+        if (!out)
+            throw sim::SimError("metrics: cannot write " + f.jsonOut);
+        r.metrics.writeJson(out);
+        std::cout << "wrote metrics JSON to " << f.jsonOut << "\n";
+    }
+    return runExitCode(r);
+}
+
 int
 cmdTrace(const std::vector<std::string> &args)
 {
+    // Converter form: trace --chrome <in.chpm> <out.json>.
+    if (args.size() == 5 && args[2] == "--chrome") {
+        obs::convertTraceFile(args[3], args[4]);
+        std::cout << "wrote Chrome trace JSON to " << args[4] << "\n";
+        return 0;
+    }
+
     if (args.size() < 5)
         return usage();
-    const auto app = apps::perfectAppByName(args[2]);
+    std::vector<std::string> rest = args;
+    rest.erase(std::remove(rest.begin() + 5, rest.end(),
+                           std::string("--chrome")),
+               rest.end());
+    const bool chrome = rest.size() != args.size();
+    Flags f;
+    if (!parseFlags(rest, 5, f))
+        return usage();
+    const auto app = buildApp(args[2], f);
     const unsigned procs =
         static_cast<unsigned>(parseCount("processor count", args[3]));
-    core::RunOptions opts;
+    core::RunOptions opts = f.opts;
     opts.collectTrace = true;
     const auto r = core::runExperiment(app, procs, opts);
+
+    if (chrome) {
+        std::ofstream out(args[4]);
+        if (!out)
+            throw sim::SimError("trace: cannot write " + args[4]);
+        obs::writeChromeTrace(out, r.trace, r.clockHz);
+        std::cout << "wrote " << r.trace.size()
+                  << " records as Chrome trace JSON to " << args[4]
+                  << "\n";
+        return 0;
+    }
 
     hpm::Trace t;
     for (const auto &rec : r.trace)
@@ -516,6 +618,8 @@ main(int argc, char **argv)
             return cmdSweep(args);
         if (args[1] == "faults")
             return cmdFaults(args);
+        if (args[1] == "metrics")
+            return cmdMetrics(args);
         if (args[1] == "trace")
             return cmdTrace(args);
         if (args[1] == "profile")
