@@ -18,12 +18,15 @@
 #include "core/contention.hh"
 #include "core/experiment.hh"
 #include "core/table.hh"
+#include "hw/config.hh"
 
 namespace cedar::bench
 {
 
-/** The five configurations of the paper, in order. */
-inline const std::vector<unsigned> configs = {1, 4, 8, 16, 32};
+/** The five measured processor counts of the paper, in order
+ *  (single-sourced from hw::CedarConfig). */
+inline const std::vector<unsigned> &configs =
+    hw::CedarConfig::paperProcCounts();
 
 /** Paper Table 1: completion times (s). */
 inline const std::map<std::string, std::vector<double>> paper_ct = {
@@ -127,7 +130,7 @@ runApp(const std::string &name, bool trace = false, double scale = 1.0)
     core::RunOptions o;
     o.collectTrace = trace;
     o.scale = scale;
-    s.runs = core::runSweep(s.app, o, configs);
+    s.runs = core::runSweep(s.app, o, core::paperConfigs());
     return s;
 }
 

@@ -84,7 +84,7 @@ BENCHMARK(BM_EventQueueChurn)->Arg(64)->Arg(1024)->Arg(8192);
 void
 BM_NetworkChunkAccess(benchmark::State &state)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gmem(map);
     net::Network net(4, 8, gmem);
     sim::Tick when = 0;
@@ -104,7 +104,7 @@ BENCHMARK(BM_NetworkChunkAccess);
 void
 BM_RmwHotSpot(benchmark::State &state)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gmem(map);
     net::Network net(4, 8, gmem);
     sim::Tick when = 0;

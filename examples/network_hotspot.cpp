@@ -29,7 +29,7 @@ namespace
 double
 streamSlowdown(unsigned n_ces, unsigned words)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gmem(map);
     net::Network net(4, 8, gmem);
 
@@ -68,7 +68,7 @@ streamSlowdown(unsigned n_ces, unsigned words)
 double
 rmwLatency(unsigned n_ces, bool hot)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gmem(map);
     net::Network net(4, 8, gmem);
     double total = 0;

@@ -1,5 +1,7 @@
 #include "core/experiment.hh"
 
+#include <cmath>
+
 #include "core/parallel.hh"
 #include "fault/injector.hh"
 #include "hw/machine.hh"
@@ -7,11 +9,35 @@
 namespace cedar::core
 {
 
+void
+validateRunOptions(const RunOptions &opts)
+{
+    using sim::ConfigError;
+    if (!std::isfinite(opts.scale) || !(opts.scale > 0.0) ||
+        opts.scale > 1.0)
+        throw ConfigError("run options: scale must be in (0, 1]");
+    if (opts.eventLimit == 0)
+        throw ConfigError("run options: event limit must be positive");
+    if (opts.watchdogEvents == 0)
+        throw ConfigError(
+            "run options: watchdog threshold must be positive");
+    if (opts.gmTimeout > 0 && opts.gmRetryBackoff == 0)
+        throw ConfigError(
+            "run options: global-memory retry backoff must be positive "
+            "when the timeout path is enabled");
+    if (opts.gmMaxRetries > 30)
+        throw ConfigError(
+            "run options: global-memory retries capped at 30 (backoff "
+            "doubles per attempt)");
+}
+
 RunResult
-runExperiment(const apps::AppModel &app, unsigned nprocs,
+runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
               const RunOptions &opts)
 {
-    hw::CedarConfig cfg = hw::CedarConfig::withProcs(nprocs);
+    validateRunOptions(opts);
+
+    hw::CedarConfig cfg = base;
     cfg.seed = opts.seed;
     cfg.costs.ctx_rtl_coop = opts.ctxRtlCoop;
     cfg.costs.gm_timeout = opts.gmTimeout;
@@ -32,7 +58,7 @@ runExperiment(const apps::AppModel &app, unsigned nprocs,
 
     RunResult r;
     r.app = app.name;
-    r.nprocs = nprocs;
+    r.nprocs = cfg.numCes();
     r.nClusters = cfg.nClusters;
     r.cesPerCluster = cfg.cesPerCluster;
     r.clockHz = cfg.clockHz;
@@ -75,15 +101,41 @@ runExperiment(const apps::AppModel &app, unsigned nprocs,
     return r;
 }
 
+RunResult
+runExperiment(const apps::AppModel &app, unsigned nprocs,
+              const RunOptions &opts)
+{
+    return runExperiment(app, hw::CedarConfig::withProcs(nprocs), opts);
+}
+
+std::vector<hw::CedarConfig>
+paperConfigs()
+{
+    std::vector<hw::CedarConfig> configs;
+    for (const unsigned p : hw::CedarConfig::paperProcCounts())
+        configs.push_back(hw::CedarConfig::withProcs(p));
+    return configs;
+}
+
+std::vector<RunResult>
+runSweep(const apps::AppModel &app, const RunOptions &opts,
+         const std::vector<hw::CedarConfig> &configs, unsigned jobs)
+{
+    std::vector<RunResult> out(configs.size());
+    parallelFor(configs.size(), jobs, [&](std::size_t i) {
+        out[i] = runExperiment(app, configs[i], opts);
+    });
+    return out;
+}
+
 std::vector<RunResult>
 runSweep(const apps::AppModel &app, const RunOptions &opts,
          const std::vector<unsigned> &procs, unsigned jobs)
 {
-    std::vector<RunResult> out(procs.size());
-    parallelFor(procs.size(), jobs, [&](std::size_t i) {
-        out[i] = runExperiment(app, procs[i], opts);
-    });
-    return out;
+    std::vector<hw::CedarConfig> configs;
+    for (const unsigned p : procs)
+        configs.push_back(hw::CedarConfig::withProcs(p));
+    return runSweep(app, opts, configs, jobs);
 }
 
 } // namespace cedar::core

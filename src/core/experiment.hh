@@ -135,20 +135,56 @@ struct RunOptions
 };
 
 /**
- * Run @p app on an @p nprocs configuration (1/4/8/16/32) and return
- * the full measurement record.
+ * Check @p opts for structural sanity: the workload scale must be in
+ * (0, 1], the event budget positive, the watchdog threshold positive,
+ * and the global-memory retry knobs within the same bounds
+ * CedarConfig::validate enforces. Called by every runExperiment
+ * overload, so nonsense cannot slip in from any surface (CLI,
+ * scenario files, library callers).
+ *
+ * @throws sim::ConfigError describing the first problem found.
+ */
+void validateRunOptions(const RunOptions &opts);
+
+/**
+ * Run @p app on an arbitrary machine configuration and return the
+ * full measurement record. The per-run knobs in @p opts (seed,
+ * ctx/RTL cooperation, global-memory resilience) override the
+ * corresponding @p cfg fields, so one configuration can be reused
+ * across differently-seeded runs.
+ */
+RunResult runExperiment(const apps::AppModel &app,
+                        const hw::CedarConfig &cfg,
+                        const RunOptions &opts = {});
+
+/**
+ * Paper-point convenience: run @p app on the @p nprocs configuration
+ * (1/4/8/16/32, via CedarConfig::withProcs). Arbitrary geometries go
+ * through the CedarConfig overload (or a ScenarioSpec).
  */
 RunResult runExperiment(const apps::AppModel &app, unsigned nprocs,
                         const RunOptions &opts = {});
 
+/** The five machine configurations the paper measures, in order. */
+std::vector<hw::CedarConfig> paperConfigs();
+
 /**
- * Run the full configuration sweep the paper uses.
+ * Run a sweep over arbitrary machine configurations.
  *
  * The runs are independent (per-run machine, RNG and accounting
  * state) and execute on a thread pool of @p jobs workers: 0 means
  * one per hardware thread, 1 preserves the strictly serial path.
- * Results are ordered by @p procs and bit-identical to a serial
+ * Results are ordered like @p configs and bit-identical to a serial
  * sweep regardless of @p jobs.
+ */
+std::vector<RunResult> runSweep(const apps::AppModel &app,
+                                const RunOptions &opts,
+                                const std::vector<hw::CedarConfig> &configs,
+                                unsigned jobs = 0);
+
+/**
+ * Paper-point convenience: sweep over processor counts (each a
+ * CedarConfig::withProcs point; defaults to the paper's five).
  */
 std::vector<RunResult> runSweep(const apps::AppModel &app,
                                 const RunOptions &opts = {},

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Declarative run descriptions: the ScenarioSpec.
+ *
+ * The paper measures exactly five Cedar configurations, and the
+ * harness historically inherited that as a hard constraint — an
+ * `nprocs` magic number that only knew 1/4/8/16/32. A ScenarioSpec
+ * removes the constraint: it bundles the *full* description of one
+ * run — machine geometry (clusters x CEs, memory modules and group
+ * size, with the stage-2 network width derived from the memory
+ * geometry), cost-model overrides, the workload (a named Perfect
+ * application, an inline description, or a workload file), a fault
+ * plan and the RunOptions — so arbitrary machine shapes become as
+ * first-class as the paper points.
+ *
+ * Scenarios have a text format in the same line-oriented style as
+ * the workload format (apps/parser.hh): `[section]` headers group
+ * `key = value` lines, `#` starts a comment. Sections:
+ *
+ *   [scenario]        name = <identifier>
+ *   [machine]         clusters, ces_per_cluster, modules, group_size,
+ *                     clock_hz, seed, procs (paper-point shorthand)
+ *   [costs]           any CostModel field by its source name, e.g.
+ *                     ctx_cost = 1500, daemon_mean_interval = 1.6e5
+ *   [run]             scale, event_limit, collect_trace, ctx_rtl_coop,
+ *                     watchdog_events, gm_timeout, gm_retry_backoff,
+ *                     gm_max_retries
+ *   [workload]        app = <Perfect name> | file = <workload path>
+ *   [workload.inline] raw workload text (apps/parser.hh directives)
+ *                     until the next section header
+ *   [faults]          inject = <fault spec> (repeatable, see
+ *                     docs/FAULTS.md for the grammar)
+ *
+ * Every diagnostic is a sim::ConfigError carrying the line number;
+ * unknown sections and unknown keys are errors, not warnings, so a
+ * typo cannot silently fall back to a default.
+ */
+
+#ifndef CEDAR_CORE_SCENARIO_HH
+#define CEDAR_CORE_SCENARIO_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "apps/workload.hh"
+#include "core/experiment.hh"
+#include "hw/config.hh"
+
+namespace cedar::core
+{
+
+/** A complete, self-contained description of one run. */
+struct ScenarioSpec
+{
+    /** Scenario identifier (defaults to the file's stem). */
+    std::string name = "unnamed";
+
+    /** Machine geometry, clock, seed and cost model. */
+    hw::CedarConfig config;
+
+    /**
+     * Workload selection: exactly one of appName (a Perfect
+     * application), workloadFile (a path in apps/parser.hh format,
+     * resolved against the scenario file's directory) or workload
+     * (inline description) is set.
+     */
+    std::string appName;
+    std::string workloadFile;
+    std::optional<apps::AppModel> workload;
+
+    /** Run options; the fault plan lives in options.faults. */
+    RunOptions options;
+
+    /**
+     * Materialise the application model: the named Perfect app, the
+     * loaded file, or the inline workload.
+     *
+     * @throws sim::ConfigError when no workload was specified or the
+     *         named app / file cannot be resolved.
+     */
+    apps::AppModel resolveApp() const;
+
+    /**
+     * Structural validation of everything the parser cannot check
+     * per-line: geometry sanity (via CedarConfig::validate), run
+     * options (via validateRunOptions) and workload presence.
+     */
+    void validate() const;
+};
+
+/**
+ * Parse a scenario from a stream. @p origin names the source in
+ * diagnostics; @p dir is the directory workload file references are
+ * resolved against (empty = current directory).
+ */
+ScenarioSpec parseScenario(std::istream &in, const std::string &origin = "",
+                           const std::string &dir = "");
+
+/** Parse a scenario from text. */
+ScenarioSpec parseScenarioString(const std::string &text);
+
+/** Parse a scenario file (workload paths resolve relative to it). */
+ScenarioSpec parseScenarioFile(const std::string &path);
+
+/**
+ * Serialise a spec back into the text format. parseScenarioString()
+ * of the result reproduces the spec (golden round-trip); inline and
+ * file-loaded workloads are both written as [workload.inline] so the
+ * output is self-contained.
+ */
+std::string formatScenario(const ScenarioSpec &spec);
+
+/** Validate and execute the scenario end to end. */
+RunResult runScenario(const ScenarioSpec &spec);
+
+} // namespace cedar::core
+
+#endif // CEDAR_CORE_SCENARIO_HH

@@ -69,15 +69,44 @@ CedarConfig::withProcs(unsigned nprocs)
         break;
       default:
         throw std::invalid_argument(
-            "CedarConfig::withProcs: supported sizes are 1/4/8/16/32");
+            "CedarConfig::withProcs: no paper point for " +
+            std::to_string(nprocs) +
+            " processors; the measured configurations are 1, 4, 8, 16 "
+            "and 32. For arbitrary cluster x CE geometries fill a "
+            "CedarConfig directly or use a scenario file "
+            "(--scenario, docs/SCENARIOS.md).");
     }
     return cfg;
+}
+
+const std::vector<unsigned> &
+CedarConfig::paperProcCounts()
+{
+    static const std::vector<unsigned> counts = {1, 4, 8, 16, 32};
+    return counts;
+}
+
+bool
+CedarConfig::isPaperPoint() const
+{
+    if (nModules != 32 || groupSize != 4)
+        return false;
+    for (const unsigned p : paperProcCounts()) {
+        const CedarConfig paper = withProcs(p);
+        if (nClusters == paper.nClusters &&
+            cesPerCluster == paper.cesPerCluster)
+            return true;
+    }
+    return false;
 }
 
 std::string
 CedarConfig::label() const
 {
-    return std::to_string(numCes()) + " proc";
+    if (isPaperPoint())
+        return std::to_string(numCes()) + " proc";
+    return std::to_string(nClusters) + "x" +
+           std::to_string(cesPerCluster) + " CEs";
 }
 
 } // namespace cedar::hw

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -121,10 +122,25 @@ struct CedarConfig
      */
     void validate() const;
 
-    /** The five measured configurations: 1, 4, 8, 16, 32. */
+    /**
+     * The five measured configurations: 1, 4, 8, 16, 32 processors.
+     * Other machine shapes are built by filling the geometry fields
+     * directly (or declaratively, via core::ScenarioSpec).
+     *
+     * @throws std::invalid_argument for non-paper processor counts.
+     */
     static CedarConfig withProcs(unsigned nprocs);
 
-    /** "1 proc", "4 proc", ... */
+    /** The processor counts withProcs() accepts, in paper order. */
+    static const std::vector<unsigned> &paperProcCounts();
+
+    /**
+     * True when this is one of the five paper configurations
+     * (geometry and memory system both as measured).
+     */
+    bool isPaperPoint() const;
+
+    /** "32 proc" for paper points, "2x4 CEs" for other shapes. */
     std::string label() const;
 };
 

@@ -2,12 +2,14 @@
  * @file
  * Cedar global-memory address interleaving.
  *
- * The Cedar global memory is double-word interleaved and aligned
- * across 32 independent modules; consecutive double-words live on
- * consecutive modules. Each stage-2 network switch fronts a group of
- * 4 consecutive modules, so the stage-2 switch (and hence the
- * stage-1 output port) for an address is determined by
- * (addr % 32) / 4.
+ * The global memory is double-word interleaved and aligned across
+ * independent modules; consecutive double-words live on consecutive
+ * modules. Each stage-2 network switch fronts a group of group_size
+ * consecutive modules, so the stage-2 switch (and hence the stage-1
+ * output port) for an address is (addr % n_modules) / group_size.
+ * Cedar as measured is (32, 4); the geometry is a free parameter
+ * here, single-sourced from hw::CedarConfig — every construction
+ * site must pass it explicitly.
  */
 
 #ifndef CEDAR_MEM_ADDRESS_MAP_HH
@@ -35,8 +37,11 @@ class AddressMap
     /**
      * @param n_modules number of memory modules (Cedar: 32).
      * @param group_size modules per stage-2 switch (Cedar: 4).
+     *
+     * @throws sim::ConfigError when the geometry is degenerate or
+     *         the modules do not divide into whole groups.
      */
-    explicit AddressMap(unsigned n_modules = 32, unsigned group_size = 4);
+    AddressMap(unsigned n_modules, unsigned group_size);
 
     unsigned numModules() const { return nModules_; }
     unsigned groupSize() const { return groupSize_; }

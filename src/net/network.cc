@@ -29,6 +29,10 @@ Network::Network(unsigned n_clusters, unsigned ces_per_cluster,
                  mem::GlobalMemory &gmem)
     : nClusters_(n_clusters), cesPerCluster_(ces_per_cluster), gmem_(gmem)
 {
+    if (n_clusters == 0 || ces_per_cluster == 0)
+        throw sim::ConfigError(
+            "network: needs at least one cluster and one CE per "
+            "cluster");
     const unsigned groups = gmem.map().numGroups();
     for (unsigned c = 0; c < n_clusters; ++c) {
         stage1_.emplace_back("stage1.cluster" + std::to_string(c), groups);

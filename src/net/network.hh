@@ -1,13 +1,17 @@
 /**
  * @file
- * The Cedar two-stage shuffle-exchange interconnection network.
+ * The Cedar two-stage shuffle-exchange interconnection network,
+ * generalized to arbitrary geometry.
  *
  * Forward path (CE -> global memory): each cluster owns a stage-1
- * 8x8 crossbar whose 8 output ports each feed one of the 8 stage-2
- * switches; each stage-2 switch has one input port per cluster and
- * fronts a group of 4 consecutive memory modules. The return path
- * (memory -> CE) mirrors it with its own switches, as on Cedar where
- * the two directions are separate networks.
+ * crossbar with one output port per stage-2 switch; each stage-2
+ * switch has one input port per cluster and fronts one group of
+ * consecutive memory modules. The stage-2 width is therefore
+ * *derived* from the memory geometry (numGroups = modules /
+ * group_size) rather than assumed — Cedar as measured is 8 switches
+ * of 4 modules each, but any validated CedarConfig shape works. The
+ * return path (memory -> CE) mirrors it with its own switches, as on
+ * Cedar where the two directions are separate networks.
  *
  * All timing is reservation based: a transfer reserves its whole
  * path at issue time, and contention (queueing at ports and modules)
@@ -68,6 +72,13 @@ class Network
     /** Per-stage wire/setup latency in cycles. */
     static constexpr sim::Tick hop_latency = 2;
 
+    /**
+     * Build the two-stage network for @p n_clusters clusters of
+     * @p ces_per_cluster CEs in front of @p gmem (whose AddressMap
+     * determines the stage-2 switch count).
+     *
+     * @throws sim::ConfigError on a degenerate geometry.
+     */
     Network(unsigned n_clusters, unsigned ces_per_cluster,
             mem::GlobalMemory &gmem);
 

@@ -5,8 +5,9 @@
  * The paper's contribution is *measurement*: attributing completion
  * time to network queueing, memory-module hot spots and OS/RTL
  * overheads. The simulator's ground truth for the first two lives in
- * the ServerStats of every FIFO server — 32 memory modules, the
- * stage-1/stage-2 crossbar ports and both return-path banks. This
+ * the ServerStats of every FIFO server — the memory modules (32 on
+ * the measured Cedar; any configured count here), the stage-1/stage-2
+ * crossbar ports and both return-path banks. This
  * layer snapshots all of them into a structured MetricsReport:
  *
  *  - per-resource counters (requests, wait/busy ticks, utilisation,

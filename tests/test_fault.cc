@@ -187,7 +187,7 @@ TEST(FifoServer, NotBeforeFloorsServiceStart)
 
 TEST(GlobalMemory, DegradeFactorMultipliesService)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory clean(map);
     mem::GlobalMemory faulty(map);
     faulty.injectModuleFault(
@@ -202,7 +202,7 @@ TEST(GlobalMemory, DegradeFactorMultipliesService)
 
 TEST(GlobalMemory, StuckWindowDefersServiceUntilItCloses)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     gm.injectModuleFault(7, {0, 1000, 0});
 
@@ -218,7 +218,7 @@ TEST(GlobalMemory, StuckWindowDefersServiceUntilItCloses)
 
 TEST(GlobalMemory, DeadModuleNeverCompletesAndNeverMutates)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     gm.injectModuleFault(7, {0, sim::max_tick, 0});
     EXPECT_TRUE(gm.moduleDead(7, 12345));
@@ -245,7 +245,7 @@ TEST(GlobalMemory, DeadModuleNeverCompletesAndNeverMutates)
 
 TEST(GlobalMemory, InjectValidatesModuleAndWindow)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     EXPECT_THROW(gm.injectModuleFault(32, {0, sim::max_tick, 0}),
                  sim::ConfigError);

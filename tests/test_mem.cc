@@ -17,7 +17,7 @@ using cedar::sim::Tick;
 
 TEST(AddressMap, CedarGeometry)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     EXPECT_EQ(map.numModules(), 32u);
     EXPECT_EQ(map.groupSize(), 4u);
     EXPECT_EQ(map.numGroups(), 8u);
@@ -25,14 +25,14 @@ TEST(AddressMap, CedarGeometry)
 
 TEST(AddressMap, ConsecutiveWordsHitConsecutiveModules)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     for (sim::Addr a = 0; a < 100; ++a)
         EXPECT_EQ(map.module(a), a % 32);
 }
 
 TEST(AddressMap, GroupChangesEveryGroupSizeWords)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     EXPECT_EQ(map.group(0), 0u);
     EXPECT_EQ(map.group(3), 0u);
     EXPECT_EQ(map.group(4), 1u);
@@ -42,7 +42,7 @@ TEST(AddressMap, GroupChangesEveryGroupSizeWords)
 
 TEST(AddressMap, ChunkifyCoversRangeExactly)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     const auto chunks = map.chunkify(2, 11);
     unsigned total = 0;
     sim::Addr expect = 2;
@@ -59,7 +59,7 @@ TEST(AddressMap, ChunkifyCoversRangeExactly)
 
 TEST(AddressMap, AlignedChunkifyProducesFullChunks)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     const auto chunks = map.chunkify(8, 16);
     ASSERT_EQ(chunks.size(), 4u);
     for (const auto &c : chunks)
@@ -103,7 +103,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(GlobalMemory, SingleWordTakesServiceTime)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     const auto res = gm.accessChunk(100, mem::Chunk{0, 1});
     EXPECT_EQ(res.complete, 100 + mem::GlobalMemory::word_service);
@@ -112,7 +112,7 @@ TEST(GlobalMemory, SingleWordTakesServiceTime)
 
 TEST(GlobalMemory, ChunkWordsServeInParallelAcrossModules)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     // 4 aligned words land on 4 distinct modules: same latency as 1.
     const auto res = gm.accessChunk(0, mem::Chunk{0, 4});
@@ -121,7 +121,7 @@ TEST(GlobalMemory, ChunkWordsServeInParallelAcrossModules)
 
 TEST(GlobalMemory, SameModuleBackToBackQueues)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     gm.accessChunk(0, mem::Chunk{0, 1});
     const auto res = gm.accessChunk(0, mem::Chunk{32, 1}); // same module
@@ -131,7 +131,7 @@ TEST(GlobalMemory, SameModuleBackToBackQueues)
 
 TEST(GlobalMemory, DifferentModulesDoNotInterfere)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     gm.accessChunk(0, mem::Chunk{0, 1});
     const auto res = gm.accessChunk(0, mem::Chunk{1, 1});
@@ -141,7 +141,7 @@ TEST(GlobalMemory, DifferentModulesDoNotInterfere)
 
 TEST(GlobalMemory, RmwAppliesFunctionInServiceOrder)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     std::uint64_t old1 = 0, old2 = 0;
     gm.rmw(0, 7, [](std::uint64_t v) { return v + 5; }, &old1);
@@ -153,7 +153,7 @@ TEST(GlobalMemory, RmwAppliesFunctionInServiceOrder)
 
 TEST(GlobalMemory, RmwIsSlowerThanRead)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     const auto res = gm.rmw(0, 3, [](std::uint64_t v) { return v; });
     EXPECT_EQ(res.complete, mem::GlobalMemory::rmw_service);
@@ -161,7 +161,7 @@ TEST(GlobalMemory, RmwIsSlowerThanRead)
 
 TEST(GlobalMemory, HotSpotSerializesOnOneModule)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     sim::Tick last = 0;
     for (int i = 0; i < 10; ++i) {
@@ -176,7 +176,7 @@ TEST(GlobalMemory, HotSpotSerializesOnOneModule)
 
 TEST(GlobalMemory, PokeAndPeek)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     EXPECT_EQ(gm.peek(99), 0u);
     gm.poke(99, 1234);
@@ -185,7 +185,7 @@ TEST(GlobalMemory, PokeAndPeek)
 
 TEST(GlobalMemory, WaitAndBusyAggregates)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     gm.accessChunk(0, mem::Chunk{0, 4});
     gm.accessChunk(0, mem::Chunk{32, 4}); // same 4 modules again
@@ -195,7 +195,7 @@ TEST(GlobalMemory, WaitAndBusyAggregates)
 
 TEST(GlobalMemory, ResetRestoresPristineState)
 {
-    mem::AddressMap map;
+    mem::AddressMap map(32, 4);
     mem::GlobalMemory gm(map);
     gm.poke(5, 77);
     gm.accessChunk(0, mem::Chunk{0, 4});

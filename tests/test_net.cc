@@ -17,7 +17,7 @@ using cedar::sim::Tick;
 
 struct NetFixture : ::testing::Test
 {
-    mem::AddressMap map;
+    mem::AddressMap map{32, 4};
     mem::GlobalMemory gmem{map};
     net::Network net{4, 8, gmem};
 };
@@ -157,7 +157,7 @@ class NetLatencyProperty
 
 TEST_P(NetLatencyProperty, NeverFasterThanUnloaded)
 {
-    mem::AddressMap map;
+    mem::AddressMap map{32, 4};
     mem::GlobalMemory gmem(map);
     net::Network net(4, 8, gmem);
     const auto [cluster, ce, addr] = GetParam();

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the declarative scenario layer: the text format parser
+ * and its diagnostics, golden round-tripping through
+ * formatScenario, run-option validation, the CedarConfig-first
+ * experiment overloads (bit-identical at the paper points), and an
+ * arbitrary non-paper machine geometry running to completion with
+ * conserved accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "apps/perfect.hh"
+#include "core/contention.hh"
+#include "core/experiment.hh"
+#include "core/scenario.hh"
+#include "hw/config.hh"
+#include "obs/metrics.hh"
+#include "sim/error.hh"
+
+namespace
+{
+
+using namespace cedar;
+using sim::ConfigError;
+
+const char *const kGolden = R"(# golden scenario
+[scenario]
+name = golden
+
+[machine]
+clusters = 2
+ces_per_cluster = 4
+modules = 16
+group_size = 4
+seed = 9
+
+[costs]
+pickup_local = 90
+ctx_rtl_coop = true
+
+[run]
+scale = 0.25
+gm_timeout = 30000
+
+[faults]
+inject = module:3:degrade:2x
+
+[workload.inline]
+app golden-app
+steps 2
+serial compute=9000 pages=1
+xdoall iters=48 compute=700 words=24
+)";
+
+/** Fast-running app for the experiment-level tests. */
+apps::AppModel
+tinyApp()
+{
+    apps::AppModel app;
+    app.name = "scn-test";
+    app.steps = 2;
+    apps::SerialSpec s;
+    s.compute = 6000;
+    s.pages = 1;
+    app.phases.push_back(s);
+    apps::LoopSpec x;
+    x.kind = apps::LoopKind::xdoall;
+    x.outerIters = 40;
+    x.computePerIter = 700;
+    x.words = 32;
+    x.burstLen = 32;
+    x.regionWords = 1 << 14;
+    app.phases.push_back(x);
+    return app;
+}
+
+TEST(ScenarioParse, ReadsEverySection)
+{
+    const auto spec = core::parseScenarioString(kGolden);
+    EXPECT_EQ(spec.name, "golden");
+    EXPECT_EQ(spec.config.nClusters, 2u);
+    EXPECT_EQ(spec.config.cesPerCluster, 4u);
+    EXPECT_EQ(spec.config.nModules, 16u);
+    EXPECT_EQ(spec.config.groupSize, 4u);
+    EXPECT_EQ(spec.config.seed, 9u);
+    EXPECT_EQ(spec.options.seed, 9u);
+    EXPECT_EQ(spec.config.costs.pickup_local, 90u);
+    EXPECT_TRUE(spec.config.costs.ctx_rtl_coop);
+    EXPECT_DOUBLE_EQ(spec.options.scale, 0.25);
+    EXPECT_EQ(spec.options.gmTimeout, 30000u);
+    ASSERT_EQ(spec.options.faults.size(), 1u);
+    EXPECT_EQ(spec.options.faults[0].text, "module:3:degrade:2x");
+    ASSERT_TRUE(spec.workload.has_value());
+    EXPECT_EQ(spec.workload->name, "golden-app");
+    EXPECT_EQ(spec.workload->steps, 2u);
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ScenarioParse, GoldenRoundTrip)
+{
+    const auto a = core::parseScenarioString(kGolden);
+    const auto b = core::parseScenarioString(core::formatScenario(a));
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.config.nClusters, b.config.nClusters);
+    EXPECT_EQ(a.config.cesPerCluster, b.config.cesPerCluster);
+    EXPECT_EQ(a.config.nModules, b.config.nModules);
+    EXPECT_EQ(a.config.groupSize, b.config.groupSize);
+    EXPECT_EQ(a.config.seed, b.config.seed);
+    EXPECT_EQ(a.config.costs.pickup_local, b.config.costs.pickup_local);
+    EXPECT_EQ(a.config.costs.ctx_rtl_coop, b.config.costs.ctx_rtl_coop);
+    EXPECT_DOUBLE_EQ(a.options.scale, b.options.scale);
+    EXPECT_EQ(a.options.gmTimeout, b.options.gmTimeout);
+    ASSERT_EQ(b.options.faults.size(), 1u);
+    EXPECT_EQ(a.options.faults[0].text, b.options.faults[0].text);
+    // The inline workload survives (formatScenario re-inlines it).
+    EXPECT_EQ(core::formatScenario(a), core::formatScenario(b));
+    const auto app_a = a.resolveApp();
+    const auto app_b = b.resolveApp();
+    EXPECT_EQ(app_a.name, app_b.name);
+    EXPECT_EQ(app_a.phases.size(), app_b.phases.size());
+}
+
+TEST(ScenarioParse, ProcsShorthandExpandsPaperShape)
+{
+    const auto spec = core::parseScenarioString(
+        "[machine]\nprocs = 16\n[workload]\napp = ADM\n");
+    EXPECT_EQ(spec.config.nClusters, 2u);
+    EXPECT_EQ(spec.config.cesPerCluster, 8u);
+    EXPECT_TRUE(spec.config.isPaperPoint());
+}
+
+TEST(ScenarioParse, FileLoadDefaultsNameToStem)
+{
+    const std::string path = "scenario_stem_test.scn";
+    {
+        std::ofstream out(path);
+        out << "[machine]\nprocs = 8\n[workload]\napp = ADM\n";
+    }
+    const auto spec = core::parseScenarioFile(path);
+    EXPECT_EQ(spec.name, "scenario_stem_test");
+    std::remove(path.c_str());
+}
+
+TEST(ScenarioParse, MissingFileFails)
+{
+    EXPECT_THROW(core::parseScenarioFile("no/such/file.scn"),
+                 ConfigError);
+}
+
+/** EXPECT that parsing @p text throws a ConfigError mentioning
+ *  @p needle (so the diagnostic stays actionable). */
+void
+expectDiagnostic(const std::string &text, const std::string &needle)
+{
+    try {
+        core::parseScenarioString(text);
+        FAIL() << "expected ConfigError containing '" << needle << "'";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "actual message: " << e.what();
+    }
+}
+
+TEST(ScenarioDiagnostics, UnknownSection)
+{
+    expectDiagnostic("[nonsense]\n", "unknown section");
+}
+
+TEST(ScenarioDiagnostics, UnterminatedSectionHeader)
+{
+    expectDiagnostic("[machine\n", "unterminated section header");
+}
+
+TEST(ScenarioDiagnostics, KeyBeforeAnySection)
+{
+    expectDiagnostic("procs = 8\n", "before any [section]");
+}
+
+TEST(ScenarioDiagnostics, MissingEqualsSign)
+{
+    expectDiagnostic("[machine]\nprocs 8\n", "expected key = value");
+}
+
+TEST(ScenarioDiagnostics, UnknownMachineKey)
+{
+    expectDiagnostic("[machine]\ncores = 8\n",
+                     "unknown key 'cores' in [machine]");
+}
+
+TEST(ScenarioDiagnostics, UnknownCostKey)
+{
+    expectDiagnostic("[costs]\nwarp_speed = 9\n",
+                     "unknown key 'warp_speed' in [costs]");
+}
+
+TEST(ScenarioDiagnostics, UnknownRunKey)
+{
+    expectDiagnostic("[run]\nturbo = yes\n",
+                     "unknown key 'turbo' in [run]");
+}
+
+TEST(ScenarioDiagnostics, BadNumber)
+{
+    expectDiagnostic("[machine]\nclusters = two\n", "bad number");
+}
+
+TEST(ScenarioDiagnostics, FractionalCount)
+{
+    expectDiagnostic("[machine]\nclusters = 2.5\n",
+                     "not a whole number");
+}
+
+TEST(ScenarioDiagnostics, BadBoolean)
+{
+    expectDiagnostic("[run]\ncollect_trace = maybe\n",
+                     "not a boolean");
+}
+
+TEST(ScenarioDiagnostics, NonPaperProcsShorthand)
+{
+    expectDiagnostic("[machine]\nprocs = 7\n", "no paper point");
+}
+
+TEST(ScenarioDiagnostics, ProcsAfterExplicitShape)
+{
+    expectDiagnostic("[machine]\nclusters = 2\nprocs = 8\n",
+                     "paper-point shorthand");
+}
+
+TEST(ScenarioDiagnostics, ExplicitShapeAfterProcs)
+{
+    expectDiagnostic("[machine]\nprocs = 8\nclusters = 2\n",
+                     "cannot override procs");
+}
+
+TEST(ScenarioDiagnostics, NoWorkload)
+{
+    expectDiagnostic("[machine]\nprocs = 8\n", "no workload");
+}
+
+TEST(ScenarioDiagnostics, MultipleWorkloadSources)
+{
+    expectDiagnostic("[workload]\napp = ADM\n"
+                     "[workload.inline]\napp x\nsteps 1\n"
+                     "serial compute=100\n",
+                     "more than one workload source");
+}
+
+TEST(ScenarioDiagnostics, BadFaultSpec)
+{
+    expectDiagnostic("[faults]\ninject = module:7:melt\n"
+                     "[workload]\napp = ADM\n",
+                     "line 2: fault spec");
+}
+
+TEST(ScenarioDiagnostics, BadInlineWorkload)
+{
+    expectDiagnostic("[workload.inline]\nserial compute=nope\n",
+                     "[workload.inline] starting line 2");
+}
+
+TEST(ScenarioDiagnostics, DiagnosticsCarryLineNumbers)
+{
+    expectDiagnostic("[machine]\nprocs = 8\nbogus = 1\n", "line 3");
+}
+
+TEST(ScenarioDiagnostics, UnknownAppSurfacesAtResolve)
+{
+    const auto spec = core::parseScenarioString(
+        "[machine]\nprocs = 8\n[workload]\napp = BOGUS\n");
+    EXPECT_THROW(spec.resolveApp(), ConfigError);
+}
+
+TEST(RunOptionValidation, RejectsBadKnobs)
+{
+    auto bad = [](auto &&tweak) {
+        core::RunOptions o;
+        tweak(o);
+        EXPECT_THROW(core::validateRunOptions(o), ConfigError);
+    };
+    bad([](core::RunOptions &o) { o.scale = 0.0; });
+    bad([](core::RunOptions &o) { o.scale = -0.5; });
+    bad([](core::RunOptions &o) { o.scale = 1.5; });
+    bad([](core::RunOptions &o) { o.scale = 0.0 / 0.0; });
+    bad([](core::RunOptions &o) { o.eventLimit = 0; });
+    bad([](core::RunOptions &o) { o.watchdogEvents = 0; });
+    bad([](core::RunOptions &o) { o.gmMaxRetries = 31; });
+    bad([](core::RunOptions &o) {
+        o.gmTimeout = 1000;
+        o.gmRetryBackoff = 0;
+    });
+    EXPECT_NO_THROW(core::validateRunOptions(core::RunOptions{}));
+}
+
+TEST(RunOptionValidation, RunExperimentRejectsBadOptions)
+{
+    core::RunOptions o;
+    o.scale = 0.0;
+    EXPECT_THROW(core::runExperiment(tinyApp(), 8, o), ConfigError);
+}
+
+TEST(ConfigOverloads, PaperPointsBitIdentical)
+{
+    // The CedarConfig-first path must reproduce the historical
+    // nprocs path exactly at all five paper points.
+    core::RunOptions o;
+    o.scale = 0.05;
+    const auto by_procs = core::runSweep(tinyApp(), o);
+    const auto by_config =
+        core::runSweep(tinyApp(), o, core::paperConfigs());
+    ASSERT_EQ(by_procs.size(), by_config.size());
+    for (std::size_t i = 0; i < by_procs.size(); ++i) {
+        EXPECT_EQ(by_procs[i].ct, by_config[i].ct) << "point " << i;
+        EXPECT_EQ(by_procs[i].eventsExecuted,
+                  by_config[i].eventsExecuted);
+        EXPECT_EQ(by_procs[i].globalWords, by_config[i].globalWords);
+        EXPECT_EQ(by_procs[i].nprocs, by_config[i].nprocs);
+    }
+}
+
+TEST(ConfigOverloads, LabelsForPaperAndArbitraryShapes)
+{
+    EXPECT_EQ(hw::CedarConfig::withProcs(32).label(), "32 proc");
+    hw::CedarConfig cfg;
+    cfg.nClusters = 2;
+    cfg.cesPerCluster = 4;
+    cfg.nModules = 16;
+    cfg.groupSize = 4;
+    EXPECT_FALSE(cfg.isPaperPoint());
+    EXPECT_EQ(cfg.label(), "2x4 CEs");
+    // A paper shape over a non-paper memory system is not a paper
+    // point either.
+    auto odd = hw::CedarConfig::withProcs(8);
+    odd.nModules = 16;
+    EXPECT_FALSE(odd.isPaperPoint());
+    EXPECT_EQ(odd.label(), "1x8 CEs");
+}
+
+TEST(ArbitraryGeometry, RunsToCompletionWithInvariants)
+{
+    // The ISSUE acceptance geometry: 2 clusters x 4 CEs in front of
+    // 16 modules in groups of 4 (4 stage-2 switches).
+    const auto spec = core::parseScenarioString(
+        "[machine]\n"
+        "clusters = 2\nces_per_cluster = 4\n"
+        "modules = 16\ngroup_size = 4\n"
+        "[run]\nscale = 0.5\n"
+        "[workload]\napp = ADM\n");
+    const auto r = core::runScenario(spec);
+
+    EXPECT_EQ(r.status, sim::RunStatus::Completed);
+    EXPECT_EQ(r.nprocs, 8u);
+    EXPECT_EQ(r.nClusters, 2u);
+    EXPECT_EQ(r.cesPerCluster, 4u);
+    ASSERT_EQ(r.ceAcct.size(), 8u);
+    ASSERT_EQ(r.clusterAcct.size(), 2u);
+    EXPECT_GT(r.ct, 0u);
+    EXPECT_GT(r.globalWords, 0u);
+    EXPECT_GT(r.machineConcurrency, 1.0);
+    EXPECT_LE(r.machineConcurrency, 8.0);
+
+    // Accounting conservation: every CE's categories sum to ~CT.
+    for (const auto &a : r.ceAcct) {
+        sim::Tick total = 0;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(os::TimeCat::NUM); ++i)
+            total += a.cat[i];
+        EXPECT_GE(total, r.ct);
+        EXPECT_LE(total, r.ct + 80000u);
+    }
+
+    // The metrics report reflects the configured geometry: 16
+    // modules, and a well-formed wait-share distribution.
+    const auto &mem =
+        r.metrics.perClass(obs::ResourceClass::memory_module);
+    EXPECT_EQ(mem.resources, 16u);
+    double share = 0;
+    unsigned modules_seen = 0;
+    for (const auto &res : r.metrics.resources) {
+        EXPECT_GE(res.waitShare, 0.0);
+        EXPECT_LE(res.waitShare, 1.0);
+        share += res.waitShare;
+        if (res.cls == obs::ResourceClass::memory_module)
+            ++modules_seen;
+    }
+    EXPECT_EQ(modules_seen, 16u);
+    if (r.metrics.totalWaitTicks > 0) {
+        EXPECT_NEAR(share, 1.0, 1e-6);
+    }
+    EXPECT_GE(r.metrics.moduleGini, 0.0);
+    EXPECT_LE(r.metrics.moduleGini, 1.0);
+    EXPECT_GE(core::groundTruthContentionPct(r), 0.0);
+}
+
+TEST(ArbitraryGeometry, DegenerateGeometryRejected)
+{
+    const auto spec = core::parseScenarioString(
+        "[machine]\nclusters = 2\nces_per_cluster = 4\n"
+        "modules = 10\ngroup_size = 4\n"
+        "[workload]\napp = ADM\n");
+    EXPECT_THROW(core::runScenario(spec), ConfigError);
+}
+
+TEST(ScenarioRun, MatchesDirectExperiment)
+{
+    // runScenario is a pure composition of resolveApp + the
+    // CedarConfig overload: same bits as calling them directly.
+    const auto spec = core::parseScenarioString(
+        "[machine]\nprocs = 8\nseed = 5\n"
+        "[run]\nscale = 0.1\n"
+        "[workload]\napp = ADM\n");
+    const auto via_scenario = core::runScenario(spec);
+    const auto direct = core::runExperiment(
+        apps::perfectAppByName("ADM"), spec.config, spec.options);
+    EXPECT_EQ(via_scenario.ct, direct.ct);
+    EXPECT_EQ(via_scenario.eventsExecuted, direct.eventsExecuted);
+    EXPECT_EQ(via_scenario.globalWords, direct.globalWords);
+}
+
+} // namespace

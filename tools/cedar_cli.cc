@@ -17,22 +17,36 @@
  *              --chrome writes Chrome trace_event JSON instead (and
  *              `trace --chrome in.chpm out.json` converts an
  *              existing trace for chrome://tracing / Perfetto).
+ *   batch    — execute every scenario file (*.scn) in a directory on
+ *              the sweep thread pool, writing per-scenario summary
+ *              and metrics JSON.
  *   apps     — list the built-in application models.
+ *
+ * run, sweep, metrics and trace all accept `--scenario FILE` in
+ * place of the <app> <procs> positionals: the scenario file
+ * (docs/SCENARIOS.md) declares the machine geometry — including
+ * non-paper shapes like 2 clusters x 4 CEs — the workload, cost
+ * overrides, fault plan and run options; any run flags given after
+ * it override the scenario's [run] section.
  *
  * Examples:
  *   cedar_cli run FLO52 32
  *   cedar_cli run MDG 8 --seed 7 --scale 0.5 --prefetch
  *   cedar_cli run FLO52 16 --inject module:7:degrade:4x
+ *   cedar_cli run --scenario examples/scenarios/paper_32p.scn
  *   cedar_cli sweep ADM
  *   cedar_cli faults FLO52
  *   cedar_cli metrics ADM 32 --json adm.metrics.json
+ *   cedar_cli metrics --scenario wide.scn --top 5
  *   cedar_cli trace OCEAN 16 /tmp/ocean.chpm
  *   cedar_cli trace OCEAN 16 /tmp/ocean.json --chrome
  *   cedar_cli trace --chrome /tmp/ocean.chpm /tmp/ocean.json
+ *   cedar_cli batch examples/scenarios --out /tmp/scn-results
  */
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
@@ -41,11 +55,14 @@
 
 #include "apps/parser.hh"
 #include "apps/perfect.hh"
+#include "bench_json.hh"
 #include "core/breakdown.hh"
 #include "core/concurrency.hh"
 #include "core/contention.hh"
 #include "core/experiment.hh"
+#include "core/parallel.hh"
 #include "core/profile.hh"
+#include "core/scenario.hh"
 #include "core/table.hh"
 #include "fault/fault.hh"
 #include "hpm/trace.hh"
@@ -70,18 +87,26 @@ usage()
            "                     [--gm-retries N] [--gm-backoff N]\n"
            "                     [--watchdog-events N]\n"
            "  cedar_cli run-file <workload.txt> <procs> [flags]\n"
+           "  cedar_cli run      --scenario <file.scn> [run flags]\n"
            "  cedar_cli sweep    <app> [--seed N] [--scale F]\n"
            "                     [--jobs N]  (0 = one per core)\n"
+           "  cedar_cli sweep    --scenario <file.scn> [--jobs N]\n"
            "  cedar_cli faults   <app> [procs] [--seed N] [--scale F]\n"
            "  cedar_cli metrics  <app> <procs> [--top K] [--json FILE]\n"
            "                     [run flags]\n"
+           "  cedar_cli metrics  --scenario <file.scn> [--top K]\n"
+           "                     [--json FILE]\n"
            "  cedar_cli trace    <app> <procs> <outfile> [--chrome]\n"
            "                     [run flags]\n"
+           "  cedar_cli trace    --scenario <file.scn> <outfile>\n"
+           "                     [--chrome]\n"
            "  cedar_cli trace    --chrome <in.chpm> <out.json>\n"
+           "  cedar_cli batch    <scenario-dir> [--jobs N] [--out DIR]\n"
            "  cedar_cli profile  <app> <procs>\n"
            "  cedar_cli apps\n"
            "\napps: FLO52 ARC2D MDG OCEAN ADM\n"
-           "procs: 1, 4, 8, 16 or 32\n"
+           "procs: 1, 4, 8, 16 or 32 (arbitrary geometries: --scenario,\n"
+           "see docs/SCENARIOS.md)\n"
            "\nfault SPEC grammar (docs/FAULTS.md):\n"
            "  module:<m>:degrade:<F>x[:@<t0>[-<t1>]]\n"
            "  module:<m>:stuck[:@<t0>[-<t1>]]\n"
@@ -129,6 +154,8 @@ struct Flags
     /** metrics: hot spots to list / optional JSON output path. */
     unsigned top = 10;
     std::string jsonOut;
+    /** batch: output directory for per-scenario JSON. */
+    std::string outDir = ".";
 };
 
 bool
@@ -165,6 +192,8 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
             f.top = static_cast<unsigned>(parseCount(a, value()));
         } else if (a == "--json") {
             f.jsonOut = value();
+        } else if (a == "--out") {
+            f.outDir = value();
         } else if (a == "--prefetch") {
             f.prefetch = true;
         } else if (a == "--ctx-coop") {
@@ -179,10 +208,10 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
     return true;
 }
 
-apps::AppModel
-buildApp(const std::string &name, const Flags &f)
+/** Apply the app-shaping flags (--fuse/--prefetch/--pickup-block). */
+void
+applyAppFlags(apps::AppModel &app, const Flags &f)
 {
-    apps::AppModel app = apps::perfectAppByName(name);
     if (f.fuse)
         app = apps::withFusedLoops(app);
     if (f.prefetch || f.pickupBlock > 1) {
@@ -193,7 +222,63 @@ buildApp(const std::string &name, const Flags &f)
             }
         }
     }
+}
+
+apps::AppModel
+buildApp(const std::string &name, const Flags &f)
+{
+    apps::AppModel app = apps::perfectAppByName(name);
+    applyAppFlags(app, f);
     return app;
+}
+
+/** A 1-CE comparison baseline sharing @p cfg's memory system, clock
+ *  and cost model (the paper's undisturbed uniprocessor run). */
+hw::CedarConfig
+uniConfigFor(hw::CedarConfig cfg)
+{
+    cfg.nClusters = 1;
+    cfg.cesPerCluster = 1;
+    return cfg;
+}
+
+/**
+ * One subcommand invocation resolved to (application, machine,
+ * options) — either from `<app> <procs>` positionals or from
+ * `--scenario FILE`, where run flags after the file override the
+ * scenario's [run] section.
+ */
+struct Invocation
+{
+    apps::AppModel app;
+    hw::CedarConfig cfg;
+    Flags flags;
+    bool fromScenario = false;
+};
+
+bool
+parseInvocation(const std::vector<std::string> &args, std::size_t at,
+                std::size_t flags_from, Invocation &inv)
+{
+    if (args.size() < at + 2)
+        return false;
+    if (args[at] == "--scenario") {
+        const auto spec = core::parseScenarioFile(args[at + 1]);
+        inv.flags.opts = spec.options;
+        if (!parseFlags(args, flags_from, inv.flags))
+            return false;
+        inv.app = spec.resolveApp();
+        applyAppFlags(inv.app, inv.flags);
+        inv.cfg = spec.config;
+        inv.fromScenario = true;
+        return true;
+    }
+    if (!parseFlags(args, flags_from, inv.flags))
+        return false;
+    inv.app = buildApp(args[at], inv.flags);
+    inv.cfg = hw::CedarConfig::withProcs(
+        static_cast<unsigned>(parseCount("processor count", args[at + 1])));
+    return true;
 }
 
 void
@@ -213,7 +298,8 @@ void
 printRun(const core::RunResult &r, const core::RunResult *uni)
 {
     std::cout << r.app << " on " << r.nprocs << " processors ("
-              << r.nClusters << " cluster(s))\n\n";
+              << r.nClusters << " cluster(s) x " << r.cesPerCluster
+              << " CE(s))\n\n";
     if (r.status != sim::RunStatus::Completed)
         std::cout << "run status: " << sim::toString(r.status) << "\n";
     printFaultSummary(r);
@@ -308,21 +394,18 @@ runExitCode(const core::RunResult &r)
 int
 cmdRun(const std::vector<std::string> &args)
 {
-    if (args.size() < 4)
+    Invocation inv;
+    if (!parseInvocation(args, 2, 4, inv))
         return usage();
-    Flags f;
-    if (!parseFlags(args, 4, f))
-        return usage();
-    const auto app = buildApp(args[2], f);
-    const unsigned procs =
-        static_cast<unsigned>(parseCount("processor count", args[3]));
     // The 1-processor comparison baseline always runs undisturbed.
-    core::RunOptions uniOpts = f.opts;
+    core::RunOptions uniOpts = inv.flags.opts;
     uniOpts.faults.clear();
-    const auto uni = core::runExperiment(app, 1, uniOpts);
-    const auto r = procs == 1 && f.opts.faults.empty()
+    const auto uni =
+        core::runExperiment(inv.app, uniConfigFor(inv.cfg), uniOpts);
+    const auto r = inv.cfg.numCes() == 1 && inv.flags.opts.faults.empty()
                        ? uni
-                       : core::runExperiment(app, procs, f.opts);
+                       : core::runExperiment(inv.app, inv.cfg,
+                                             inv.flags.opts);
     printRun(r, &uni);
     return runExitCode(r);
 }
@@ -348,24 +431,58 @@ cmdRunFile(const std::vector<std::string> &args)
     return runExitCode(r);
 }
 
+/** The paper's five-point processor ladder, carrying over @p base's
+ *  memory geometry, clock, seed and cost model. */
+std::vector<hw::CedarConfig>
+paperLadderOf(const hw::CedarConfig &base)
+{
+    auto configs = core::paperConfigs();
+    for (auto &c : configs) {
+        c.nModules = base.nModules;
+        c.groupSize = base.groupSize;
+        c.clockHz = base.clockHz;
+        c.seed = base.seed;
+        c.costs = base.costs;
+    }
+    return configs;
+}
+
 int
 cmdSweep(const std::vector<std::string> &args)
 {
     if (args.size() < 3)
         return usage();
+    apps::AppModel app;
+    std::vector<hw::CedarConfig> configs;
     Flags f;
-    if (!parseFlags(args, 3, f))
-        return usage();
-    const auto app = buildApp(args[2], f);
-    const auto sweep =
-        core::runSweep(app, f.opts, {1, 4, 8, 16, 32}, f.jobs);
+    if (args[2] == "--scenario") {
+        if (args.size() < 4)
+            return usage();
+        const auto spec = core::parseScenarioFile(args[3]);
+        f.opts = spec.options;
+        if (!parseFlags(args, 4, f))
+            return usage();
+        app = spec.resolveApp();
+        applyAppFlags(app, f);
+        // Sweep the processor ladder on the scenario's memory system;
+        // a non-paper machine shape becomes an extra final point.
+        configs = paperLadderOf(spec.config);
+        if (!spec.config.isPaperPoint())
+            configs.push_back(spec.config);
+    } else {
+        if (!parseFlags(args, 3, f))
+            return usage();
+        app = buildApp(args[2], f);
+        configs = core::paperConfigs();
+    }
+    const auto sweep = core::runSweep(app, f.opts, configs, f.jobs);
 
     core::Table t({"config", "CT (s)", "speedup", "concurr", "OS %",
                    "main ovh %", "Ov_cont %"});
-    for (const auto &r : sweep) {
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto &r = sweep[i];
         const auto e = core::estimateContention(r, sweep.front());
-        t.addRow({std::to_string(r.nprocs) + " proc",
-                  core::Table::num(r.seconds(), 3),
+        t.addRow({configs[i].label(), core::Table::num(r.seconds(), 3),
                   core::Table::num(sweep.front().seconds() / r.seconds(),
                                    2),
                   core::Table::num(r.machineConcurrency, 2),
@@ -470,18 +587,14 @@ cmdFaults(const std::vector<std::string> &args)
 int
 cmdMetrics(const std::vector<std::string> &args)
 {
-    if (args.size() < 4)
+    Invocation inv;
+    if (!parseInvocation(args, 2, 4, inv))
         return usage();
-    Flags f;
-    if (!parseFlags(args, 4, f))
-        return usage();
-    const auto app = buildApp(args[2], f);
-    const unsigned procs =
-        static_cast<unsigned>(parseCount("processor count", args[3]));
-    const auto r = core::runExperiment(app, procs, f.opts);
+    const Flags &f = inv.flags;
+    const auto r = core::runExperiment(inv.app, inv.cfg, f.opts);
 
-    std::cout << r.app << " on " << r.nprocs
-              << " processors — contention metrics\n\n";
+    std::cout << r.app << " on " << inv.cfg.label()
+              << " — contention metrics\n\n";
     if (r.status != sim::RunStatus::Completed)
         std::cout << "run status: " << sim::toString(r.status) << "\n";
     printFaultSummary(r);
@@ -530,15 +643,12 @@ cmdTrace(const std::vector<std::string> &args)
                            std::string("--chrome")),
                rest.end());
     const bool chrome = rest.size() != args.size();
-    Flags f;
-    if (!parseFlags(rest, 5, f))
+    Invocation inv;
+    if (!parseInvocation(rest, 2, 5, inv))
         return usage();
-    const auto app = buildApp(args[2], f);
-    const unsigned procs =
-        static_cast<unsigned>(parseCount("processor count", args[3]));
-    core::RunOptions opts = f.opts;
+    core::RunOptions opts = inv.flags.opts;
     opts.collectTrace = true;
-    const auto r = core::runExperiment(app, procs, opts);
+    const auto r = core::runExperiment(inv.app, inv.cfg, opts);
 
     if (chrome) {
         std::ofstream out(args[4]);
@@ -558,6 +668,155 @@ cmdTrace(const std::vector<std::string> &args)
     std::cout << "wrote " << r.trace.size() << " records to " << args[4]
               << "\n";
     return 0;
+}
+
+/** Write the one-scenario summary document (cedar-scenario-v1). */
+void
+writeScenarioSummary(std::ostream &os, const core::ScenarioSpec &spec,
+                     const std::string &source,
+                     const core::RunResult &r)
+{
+    tools::JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "cedar-scenario-v1");
+    w.field("scenario", spec.name);
+    w.field("source", source);
+    w.field("app", r.app);
+    w.key("machine").beginObject();
+    w.field("label", spec.config.label());
+    w.field("clusters", spec.config.nClusters);
+    w.field("ces_per_cluster", spec.config.cesPerCluster);
+    w.field("nprocs", spec.config.numCes());
+    w.field("modules", spec.config.nModules);
+    w.field("group_size", spec.config.groupSize);
+    w.field("clock_hz", spec.config.clockHz);
+    w.field("seed", spec.options.seed);
+    w.endObject();
+    w.key("run").beginObject();
+    w.field("scale", spec.options.scale);
+    w.field("status", sim::toString(r.status));
+    w.field("ct_ticks", std::uint64_t(r.ct));
+    w.field("seconds", r.seconds());
+    w.field("concurrency", r.machineConcurrency);
+    w.field("events_executed", std::uint64_t(r.eventsExecuted));
+    w.field("peak_pending", std::uint64_t(r.peakPending));
+    w.field("global_words", r.globalWords);
+    w.field("faults_injected", r.faultsInjected);
+    w.field("accesses_degraded", r.accessesDegraded);
+    w.field("parked_ces", r.parkedCes);
+    w.endObject();
+    w.key("contention").beginObject();
+    w.field("resource_wait_ticks", std::uint64_t(r.resourceWait));
+    w.field("ce_queue_stall_ticks", std::uint64_t(r.ceQueueStall));
+    w.field("ground_truth_pct", core::groundTruthContentionPct(r));
+    w.field("module_gini", r.metrics.moduleGini);
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+/**
+ * Execute every scenario file (*.scn) in a directory on the sweep
+ * thread pool. Each scenario leaves two artifacts in --out:
+ * <name>.json (summary, schema cedar-scenario-v1) and
+ * <name>.metrics.json (the per-resource contention document). A
+ * scenario that fails to run is reported and does not stop the rest.
+ */
+int
+cmdBatch(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return usage();
+    Flags f;
+    if (!parseFlags(args, 3, f))
+        return usage();
+
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(args[2])) {
+        std::cerr << "batch: not a directory: " << args[2] << "\n";
+        return 2;
+    }
+    std::vector<fs::path> files;
+    for (const auto &e : fs::directory_iterator(args[2]))
+        if (e.is_regular_file() && e.path().extension() == ".scn")
+            files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::cerr << "batch: no *.scn files in " << args[2] << "\n";
+        return 2;
+    }
+
+    // Parse everything up front: a malformed scenario aborts the
+    // batch before any simulation time is spent.
+    std::vector<core::ScenarioSpec> specs;
+    specs.reserve(files.size());
+    for (const auto &p : files)
+        specs.push_back(core::parseScenarioFile(p.string()));
+
+    fs::create_directories(f.outDir);
+
+    struct Outcome
+    {
+        core::RunResult result;
+        std::string error;
+    };
+    std::vector<Outcome> out(specs.size());
+    core::parallelFor(specs.size(), f.jobs, [&](std::size_t i) {
+        try {
+            out[i].result = core::runScenario(specs[i]);
+        } catch (const std::exception &e) {
+            out[i].error = e.what();
+        }
+    });
+
+    core::Table t({"scenario", "machine", "app", "status", "CT (s)",
+                   "concurr"});
+    unsigned failed = 0;
+    int exit_code = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &spec = specs[i];
+        if (!out[i].error.empty()) {
+            ++failed;
+            exit_code = 1;
+            t.addRow({spec.name, spec.config.label(),
+                      spec.appName.empty() ? "(inline)" : spec.appName,
+                      "error", "-", "-"});
+            std::cerr << "batch: " << files[i].string() << ": "
+                      << out[i].error << "\n";
+            continue;
+        }
+        const auto &r = out[i].result;
+        const fs::path summary =
+            fs::path(f.outDir) / (spec.name + ".json");
+        const fs::path metrics =
+            fs::path(f.outDir) / (spec.name + ".metrics.json");
+        {
+            std::ofstream os(summary);
+            if (!os)
+                throw sim::SimError("batch: cannot write " +
+                                    summary.string());
+            writeScenarioSummary(os, spec, files[i].string(), r);
+        }
+        {
+            std::ofstream os(metrics);
+            if (!os)
+                throw sim::SimError("batch: cannot write " +
+                                    metrics.string());
+            r.metrics.writeJson(os);
+        }
+        if (runExitCode(r) != 0 && exit_code == 0)
+            exit_code = 3;
+        t.addRow({spec.name, spec.config.label(), r.app,
+                  sim::toString(r.status),
+                  core::Table::num(r.seconds(), 3),
+                  core::Table::num(r.machineConcurrency, 2)});
+    }
+    std::cout << "batch: " << specs.size() << " scenario(s) from "
+              << args[2] << ", artifacts in " << f.outDir << "\n\n";
+    t.print(std::cout);
+    if (failed)
+        std::cout << "\n" << failed << " scenario(s) failed\n";
+    return exit_code;
 }
 
 int
@@ -622,6 +881,8 @@ main(int argc, char **argv)
             return cmdMetrics(args);
         if (args[1] == "trace")
             return cmdTrace(args);
+        if (args[1] == "batch")
+            return cmdBatch(args);
         if (args[1] == "profile")
             return cmdProfile(args);
         if (args[1] == "apps")
