@@ -19,6 +19,17 @@
  * whole sweep and is where --jobs > 1 shows its speedup. --repeat
  * reruns each sweep and keeps the fastest wall time per config
  * (minimum-of-R is the standard noise filter for wall clocks).
+ *
+ * A dedicated tracing leg times one fixed configuration (FLO52 on
+ * 8 processors) with the telemetry timeline disabled (no span/flow
+ * subscriber — the default, where the tracer's wants() gates keep
+ * every publish site on its no-sink fast path) and enabled (a
+ * TimelineRecorder subscribed, every span and flow event
+ * materialized). The harness asserts the disabled path stays within
+ * 2% of the plain sweep measurement of the identical configuration —
+ * the tracer is compiled in unconditionally, so a gate that stops
+ * being free shows up here, while cross-PR slowdowns show up in the
+ * committed events/sec trajectory.
  */
 
 #include <algorithm>
@@ -61,6 +72,70 @@ struct AppPerf
     std::vector<ConfigPerf> configs;
 };
 
+/** The tracing-overhead leg: one fixed config, timeline off vs on. */
+struct TracingPerf
+{
+    std::string app;
+    unsigned procs = 8;
+    unsigned repeat = 0;
+    double disabledWallSec = 0; //!< no sink: wants() fast path
+    double enabledWallSec = 0;  //!< TimelineRecorder subscribed
+    std::uint64_t events = 0;   //!< DES events (identical both legs)
+    std::uint64_t timelineEvents = 0; //!< spans + flows captured
+    /** Plain sweep wall for the same app/procs this invocation, or 0
+     *  when the sweep didn't cover it (--apps filter). */
+    double sweepWallSec = 0;
+
+    double
+    disabledOverheadPct() const
+    {
+        return sweepWallSec > 0
+                   ? 100.0 * (disabledWallSec / sweepWallSec - 1.0)
+                   : 0.0;
+    }
+    double
+    enabledOverheadPct() const
+    {
+        return disabledWallSec > 0
+                   ? 100.0 * (enabledWallSec / disabledWallSec - 1.0)
+                   : 0.0;
+    }
+};
+
+constexpr double tracing_guard_pct = 2.0;
+
+TracingPerf
+timeTracing(const core::RunOptions &opts, unsigned repeat)
+{
+    TracingPerf t;
+    t.app = "FLO52";
+    // Min-of-R with a floor of three: both legs run the same DES
+    // workload, so the comparison is noise-bounded, and the guard
+    // below needs a tight minimum.
+    t.repeat = std::max(repeat, 3u);
+    const auto app = apps::perfectAppByName(t.app);
+    const auto cfg = hw::CedarConfig::withProcs(t.procs);
+    for (unsigned r = 0; r < t.repeat; ++r) {
+        core::RunOptions o = opts;
+        o.collectTimeline = false;
+        auto t0 = Clock::now();
+        auto res = core::runExperiment(app, cfg, o);
+        double wall = secondsSince(t0);
+        if (r == 0 || wall < t.disabledWallSec)
+            t.disabledWallSec = wall;
+        t.events = res.eventsExecuted;
+
+        o.collectTimeline = true;
+        t0 = Clock::now();
+        res = core::runExperiment(app, cfg, o);
+        wall = secondsSince(t0);
+        if (r == 0 || wall < t.enabledWallSec)
+            t.enabledWallSec = wall;
+        t.timelineEvents = res.timeline.size();
+    }
+    return t;
+}
+
 AppPerf
 timeSweep(const apps::AppModel &app, const core::RunOptions &opts,
           unsigned jobs, unsigned repeat)
@@ -95,8 +170,8 @@ timeSweep(const apps::AppModel &app, const core::RunOptions &opts,
 
 void
 writeJson(std::ostream &os, const std::vector<AppPerf> &apps,
-          unsigned jobs, double scale, unsigned repeat,
-          double total_wall)
+          const TracingPerf &tracing, unsigned jobs, double scale,
+          unsigned repeat, double total_wall)
 {
     tools::JsonWriter j(os);
     j.beginObject();
@@ -131,6 +206,23 @@ writeJson(std::ostream &os, const std::vector<AppPerf> &apps,
         j.endObject();
     }
     j.endArray();
+
+    j.key("tracing").beginObject();
+    j.field("app", tracing.app);
+    j.field("procs", tracing.procs);
+    j.field("repeat", tracing.repeat);
+    j.field("disabled_wall_s", tracing.disabledWallSec);
+    j.field("enabled_wall_s", tracing.enabledWallSec);
+    j.field("events", tracing.events);
+    j.field("timeline_events", tracing.timelineEvents);
+    j.field("sweep_wall_s", tracing.sweepWallSec);
+    j.field("disabled_overhead_pct", tracing.disabledOverheadPct());
+    j.field("enabled_overhead_pct", tracing.enabledOverheadPct());
+    j.field("guard_max_disabled_overhead_pct", tracing_guard_pct);
+    j.field("guard_ok", tracing.sweepWallSec <= 0 ||
+                            tracing.disabledOverheadPct() <=
+                                tracing_guard_pct);
+    j.endObject();
     j.endObject();
 }
 
@@ -209,14 +301,38 @@ main(int argc, char **argv)
             }
             std::cout << "\n";
         }
+        TracingPerf tracing = timeTracing(opts, repeat);
+        for (const auto &p : perfs) {
+            if (p.app != tracing.app)
+                continue;
+            for (const auto &c : p.configs)
+                if (c.procs == tracing.procs)
+                    tracing.sweepWallSec = c.wallSec;
+        }
+        std::cout << "tracing (" << tracing.app << " "
+                  << tracing.procs << "p): disabled "
+                  << tracing.disabledWallSec << " s, enabled "
+                  << tracing.enabledWallSec << " s (+"
+                  << tracing.enabledOverheadPct() << "%, "
+                  << tracing.timelineEvents << " timeline events)\n";
         const double total = secondsSince(t0);
 
         std::ofstream f(out);
         if (!f)
             throw std::runtime_error("cannot write " + out);
-        writeJson(f, perfs, jobs, scale, repeat, total);
+        writeJson(f, perfs, tracing, jobs, scale, repeat, total);
         std::cout << "wrote " << out << " (" << total
                   << " s total)\n";
+
+        if (tracing.sweepWallSec > 0 &&
+            tracing.disabledOverheadPct() > tracing_guard_pct) {
+            std::cerr << "error: disabled-tracer leg is "
+                      << tracing.disabledOverheadPct()
+                      << "% slower than the plain sweep run of the "
+                         "same configuration (guard: "
+                      << tracing_guard_pct << "%)\n";
+            return 3;
+        }
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

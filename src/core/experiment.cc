@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include <memory>
+
 #include "core/parallel.hh"
 #include "fault/injector.hh"
 #include "hw/machine.hh"
@@ -47,6 +49,13 @@ runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
     hw::Machine m(cfg);
     m.trace().setEnabled(opts.collectTrace);
 
+    // A scoped recorder subscribes the timeline to the machine's bus
+    // for exactly this run; without it the tracer's wants() gates
+    // keep the span/flow publish sites on their no-sink fast path.
+    std::unique_ptr<obs::TimelineRecorder> timeline;
+    if (opts.collectTimeline)
+        timeline = std::make_unique<obs::TimelineRecorder>(m.telemetry());
+
     const apps::AppModel model =
         opts.scale < 1.0 ? app.scaled(opts.scale) : app;
     rtl::Runtime rt(m, model);
@@ -54,7 +63,7 @@ runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
     fault::FaultInjector injector(m, opts.faults);
     injector.arm([&rt] { return rt.finished(); });
 
-    rt.run(opts.eventLimit, opts.watchdogEvents);
+    rt.run(opts.eventLimit, opts.watchdogEvents, opts.progress);
 
     RunResult r;
     r.app = app.name;
@@ -98,6 +107,8 @@ runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
 
     if (opts.collectTrace)
         r.trace = m.trace().records();
+    if (timeline)
+        r.timeline = timeline->take();
     return r;
 }
 
@@ -119,23 +130,27 @@ paperConfigs()
 
 std::vector<RunResult>
 runSweep(const apps::AppModel &app, const RunOptions &opts,
-         const std::vector<hw::CedarConfig> &configs, unsigned jobs)
+         const std::vector<hw::CedarConfig> &configs, unsigned jobs,
+         const SweepResultFn &onResult)
 {
     std::vector<RunResult> out(configs.size());
     parallelFor(configs.size(), jobs, [&](std::size_t i) {
         out[i] = runExperiment(app, configs[i], opts);
+        if (onResult)
+            onResult(i, out[i]);
     });
     return out;
 }
 
 std::vector<RunResult>
 runSweep(const apps::AppModel &app, const RunOptions &opts,
-         const std::vector<unsigned> &procs, unsigned jobs)
+         const std::vector<unsigned> &procs, unsigned jobs,
+         const SweepResultFn &onResult)
 {
     std::vector<hw::CedarConfig> configs;
     for (const unsigned p : procs)
         configs.push_back(hw::CedarConfig::withProcs(p));
-    return runSweep(app, opts, configs, jobs);
+    return runSweep(app, opts, configs, jobs, onResult);
 }
 
 } // namespace cedar::core

@@ -13,11 +13,14 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "apps/workload.hh"
 #include "fault/fault.hh"
 #include "hpm/trace.hh"
 #include "hw/config.hh"
 #include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "os/accounting.hh"
 #include "os/xylem.hh"
 #include "rtl/runtime.hh"
@@ -83,6 +86,10 @@ struct RunResult
     /** The cedarhpm trace (empty when tracing disabled). */
     std::vector<hpm::Record> trace;
 
+    /** The telemetry timeline: every span and GM-flow event, in
+     *  publish order (empty unless RunOptions::collectTimeline). */
+    std::vector<obs::TelemetryEvent> timeline;
+
     double seconds() const { return static_cast<double>(ct) / clockHz; }
     double toSeconds(sim::Tick t) const
     {
@@ -116,6 +123,10 @@ struct RunOptions
 {
     std::uint64_t seed = 1;
     bool collectTrace = false;
+    /** Record the span/flow timeline into RunResult::timeline. */
+    bool collectTimeline = false;
+    /** Live heartbeat forwarded to rtl::Runtime::run. */
+    rtl::ProgressFn progress;
     /** Workload scale factor (1.0 = full size). */
     double scale = 1.0;
     std::uint64_t eventLimit = 500'000'000ULL;
@@ -169,6 +180,15 @@ RunResult runExperiment(const apps::AppModel &app, unsigned nprocs,
 std::vector<hw::CedarConfig> paperConfigs();
 
 /**
+ * Per-run completion hook for sweeps: invoked with the config index
+ * and the finished result. Under a parallel sweep it runs on the
+ * worker thread that finished the run, possibly concurrently with
+ * other runs' hooks — the caller synchronises if it must.
+ */
+using SweepResultFn =
+    std::function<void(std::size_t, const RunResult &)>;
+
+/**
  * Run a sweep over arbitrary machine configurations.
  *
  * The runs are independent (per-run machine, RNG and accounting
@@ -180,7 +200,8 @@ std::vector<hw::CedarConfig> paperConfigs();
 std::vector<RunResult> runSweep(const apps::AppModel &app,
                                 const RunOptions &opts,
                                 const std::vector<hw::CedarConfig> &configs,
-                                unsigned jobs = 0);
+                                unsigned jobs = 0,
+                                const SweepResultFn &onResult = {});
 
 /**
  * Paper-point convenience: sweep over processor counts (each a
@@ -190,7 +211,8 @@ std::vector<RunResult> runSweep(const apps::AppModel &app,
                                 const RunOptions &opts = {},
                                 const std::vector<unsigned> &procs = {
                                     1, 4, 8, 16, 32},
-                                unsigned jobs = 0);
+                                unsigned jobs = 0,
+                                const SweepResultFn &onResult = {});
 
 } // namespace cedar::core
 

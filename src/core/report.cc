@@ -1,0 +1,278 @@
+#include "core/report.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+
+#include "bench_json.hh"
+#include "core/table.hh"
+#include "obs/telemetry.hh"
+
+namespace cedar::core
+{
+
+namespace
+{
+
+constexpr std::size_t n_cats =
+    static_cast<std::size_t>(os::TimeCat::NUM);
+
+sim::Tick
+absDiff(sim::Tick a, sim::Tick b)
+{
+    return a > b ? a - b : b - a;
+}
+
+} // namespace
+
+Report
+buildReport(const RunResult &r)
+{
+    Report rep;
+    rep.app = r.app;
+    rep.nprocs = r.nprocs;
+    rep.nClusters = r.nClusters;
+    rep.cesPerCluster = r.cesPerCluster;
+    rep.status = sim::toString(r.status);
+    rep.ct = r.ct;
+    rep.seconds = r.seconds();
+    rep.concurrency = r.machineConcurrency;
+
+    rep.totalCt = ctBreakdownTotal(r);
+    for (unsigned c = 0; c < r.nClusters; ++c) {
+        rep.clusterCt.push_back(
+            ctBreakdown(r, static_cast<sim::ClusterId>(c)));
+        rep.userByCluster.push_back(
+            userBreakdown(r, static_cast<sim::ClusterId>(c)));
+    }
+    rep.osTable = osActivityTable(r);
+
+    for (unsigned i = 0; i < r.ceAcct.size(); ++i) {
+        ReportCeRow row;
+        row.ce = i;
+        row.cluster = r.cesPerCluster ? i / r.cesPerCluster : 0;
+        const auto &acct = r.ceAcct[i];
+        for (std::size_t c = 0; c < n_cats; ++c) {
+            row.cat[c] = acct.cat[c];
+            row.sum += acct.cat[c];
+        }
+        row.pctSum = r.ct ? 100.0 * static_cast<double>(row.sum) /
+                                static_cast<double>(r.ct)
+                          : 0.0;
+        rep.maxConservationError =
+            std::max(rep.maxConservationError, absDiff(row.sum, r.ct));
+        rep.ces.push_back(row);
+    }
+
+    // Cross-check the span timeline against the ledger: spans are
+    // emitted with the same durations as the accounting charges at
+    // the same call sites, so per (CE, category) the sums must match
+    // exactly. Idle has no spans by design.
+    if (!r.timeline.empty()) {
+        rep.tracer.performed = true;
+        std::vector<std::array<sim::Tick, n_cats>> spanSum(
+            r.ceAcct.size());
+        for (const auto &e : r.timeline) {
+            if (e.kind != obs::EventKind::span)
+                continue;
+            if (e.ce < 0 ||
+                static_cast<std::size_t>(e.ce) >= spanSum.size())
+                continue;
+            spanSum[static_cast<std::size_t>(e.ce)]
+                   [static_cast<std::size_t>(e.cat)] += e.dur;
+            rep.tracer.spanTicks += e.dur;
+        }
+        for (std::size_t i = 0; i < r.ceAcct.size(); ++i) {
+            for (std::size_t c = 0; c < n_cats; ++c) {
+                if (static_cast<os::TimeCat>(c) == os::TimeCat::idle)
+                    continue;
+                rep.tracer.acctBusyTicks += r.ceAcct[i].cat[c];
+                rep.tracer.maxMismatch =
+                    std::max(rep.tracer.maxMismatch,
+                             absDiff(spanSum[i][c], r.ceAcct[i].cat[c]));
+            }
+        }
+    }
+    return rep;
+}
+
+void
+Report::writeJson(std::ostream &os) const
+{
+    tools::JsonWriter j(os);
+    j.beginObject();
+    j.field("schema", "cedar-report-v1");
+    j.field("app", app);
+    j.field("nprocs", nprocs);
+    j.field("clusters", nClusters);
+    j.field("ces_per_cluster", cesPerCluster);
+    j.field("status", status);
+    j.field("ct_ticks", static_cast<std::uint64_t>(ct));
+    j.field("seconds", seconds);
+    j.field("concurrency", concurrency);
+
+    auto writeCt = [&](const CtBreakdown &b) {
+        j.beginObject();
+        j.field("user_pct", b.userPct);
+        j.field("system_pct", b.systemPct);
+        j.field("interrupt_pct", b.interruptPct);
+        j.field("kspin_pct", b.kspinPct);
+        j.field("os_total_pct", b.osTotalPct());
+        j.endObject();
+    };
+    j.key("figure3_total");
+    writeCt(totalCt);
+    j.key("figure3_clusters").beginArray();
+    for (const auto &b : clusterCt)
+        writeCt(b);
+    j.endArray();
+
+    j.key("table2_os_activities").beginArray();
+    for (const auto &row : osTable) {
+        j.beginObject();
+        j.field("activity", os::toString(row.act));
+        j.field("seconds", row.seconds);
+        j.field("pct_of_ct", row.pctOfCt);
+        j.endObject();
+    }
+    j.endArray();
+
+    j.key("figure4_user_breakdown").beginArray();
+    for (std::size_t c = 0; c < userByCluster.size(); ++c) {
+        const auto &ub = userByCluster[c];
+        j.beginObject();
+        j.field("cluster", static_cast<unsigned>(c));
+        j.field("total_user_ticks",
+                static_cast<std::uint64_t>(ub.totalUser));
+        j.key("activities").beginArray();
+        for (std::size_t a = 0;
+             a < static_cast<std::size_t>(os::UserAct::NUM); ++a) {
+            const auto act = static_cast<os::UserAct>(a);
+            j.beginObject();
+            j.field("activity", os::toString(act));
+            j.field("ticks", static_cast<std::uint64_t>(ub.in(act)));
+            j.field("pct_of_ct", ub.pctOf(act, ct));
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+    }
+    j.endArray();
+
+    j.key("per_ce").beginArray();
+    for (const auto &row : ces) {
+        j.beginObject();
+        j.field("ce", row.ce);
+        j.field("cluster", row.cluster);
+        for (std::size_t c = 0; c < n_cats; ++c)
+            j.field(os::toString(static_cast<os::TimeCat>(c)),
+                    static_cast<std::uint64_t>(row.cat[c]));
+        j.field("sum_ticks", static_cast<std::uint64_t>(row.sum));
+        j.field("pct_of_ct", row.pctSum);
+        j.endObject();
+    }
+    j.endArray();
+
+    j.key("conservation").beginObject();
+    j.field("max_error_ticks",
+            static_cast<std::uint64_t>(maxConservationError));
+    j.field("max_error_pct",
+            ct ? 100.0 * static_cast<double>(maxConservationError) /
+                     static_cast<double>(ct)
+               : 0.0);
+    j.endObject();
+
+    j.key("tracer_cross_check").beginObject();
+    j.field("performed", tracer.performed);
+    if (tracer.performed) {
+        j.field("span_ticks",
+                static_cast<std::uint64_t>(tracer.spanTicks));
+        j.field("acct_busy_ticks",
+                static_cast<std::uint64_t>(tracer.acctBusyTicks));
+        j.field("max_mismatch_ticks",
+                static_cast<std::uint64_t>(tracer.maxMismatch));
+    }
+    j.endObject();
+    j.endObject();
+}
+
+void
+Report::writeMarkdown(std::ostream &os) const
+{
+    auto pct = [](double v) { return Table::num(v, 2); };
+
+    os << "# " << app << " on " << nprocs << " processors ("
+       << nClusters << " cluster(s) x " << cesPerCluster
+       << " CE(s))\n\n";
+    os << "- status: " << status << "\n";
+    os << "- completion time: " << Table::num(seconds, 3) << " s ("
+       << ct << " cycles)\n";
+    os << "- average concurrency: " << Table::num(concurrency, 2)
+       << "\n\n";
+
+    os << "## Completion-time breakdown (paper Figure 3)\n\n";
+    os << "| cluster | user % | system % | interrupt % | spin % | OS "
+          "total % |\n";
+    os << "|---|---|---|---|---|---|\n";
+    for (std::size_t c = 0; c < clusterCt.size(); ++c) {
+        const auto &b = clusterCt[c];
+        os << "| " << c << " | " << pct(b.userPct) << " | "
+           << pct(b.systemPct) << " | " << pct(b.interruptPct) << " | "
+           << pct(b.kspinPct) << " | " << pct(b.osTotalPct()) << " |\n";
+    }
+    os << "| all | " << pct(totalCt.userPct) << " | "
+       << pct(totalCt.systemPct) << " | " << pct(totalCt.interruptPct)
+       << " | " << pct(totalCt.kspinPct) << " | "
+       << pct(totalCt.osTotalPct()) << " |\n\n";
+
+    os << "## OS activity detail (paper Table 2)\n\n";
+    os << "| activity | seconds | % of CT |\n|---|---|---|\n";
+    for (const auto &row : osTable)
+        os << "| " << os::toString(row.act) << " | "
+           << Table::num(row.seconds, 4) << " | " << pct(row.pctOfCt)
+           << " |\n";
+    os << "\n";
+
+    os << "## User-time breakdown per cluster task (paper Figure 4, % "
+          "of CT)\n\n";
+    os << "| task | serial | mc loop | iters | setup | pickup | "
+          "barrier | wait |\n";
+    os << "|---|---|---|---|---|---|---|---|\n";
+    for (std::size_t c = 0; c < userByCluster.size(); ++c) {
+        const auto &ub = userByCluster[c];
+        auto p = [&](os::UserAct a) { return pct(ub.pctOf(a, ct)); };
+        os << "| " << (c == 0 ? "main" : "helper" + std::to_string(c))
+           << " | " << p(os::UserAct::serial) << " | "
+           << p(os::UserAct::mc_loop) << " | "
+           << p(os::UserAct::iter_exec) << " | "
+           << p(os::UserAct::loop_setup) << " | "
+           << p(os::UserAct::iter_pickup) << " | "
+           << p(os::UserAct::barrier_wait) << " | "
+           << p(os::UserAct::helper_wait) << " |\n";
+    }
+    os << "\n";
+
+    os << "## Conservation\n\n";
+    os << "Per-CE category sums vs completion time: max error "
+       << maxConservationError << " tick(s)";
+    if (ct)
+        os << " ("
+           << Table::num(100.0 *
+                             static_cast<double>(maxConservationError) /
+                             static_cast<double>(ct),
+                         4)
+           << "% of CT)";
+    os << ".\n";
+    if (tracer.performed) {
+        os << "Tracer cross-check: " << tracer.spanTicks
+           << " span tick(s) vs " << tracer.acctBusyTicks
+           << " ledger busy tick(s); max per-(CE, category) mismatch "
+           << tracer.maxMismatch << " tick(s).\n";
+    } else {
+        os << "Tracer cross-check: not performed (run without "
+              "--timeline).\n";
+    }
+}
+
+} // namespace cedar::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper-figure decomposition reporter.
+ *
+ * Turns one RunResult into the paper's presentation artifacts in one
+ * document: the Figure-3 completion-time breakdown (per cluster and
+ * machine-wide), the Table-2 OS activity detail, the Figure-4
+ * user-time breakdown per cluster task — plus the accounting
+ * conservation check (every CE's categories must sum to the
+ * completion time) and, when the run captured a telemetry timeline,
+ * the tracer-vs-accounting cross-check (span ticks per CE and
+ * category must reproduce the ledger tick-for-tick).
+ *
+ * Two serializations: writeJson (schema cedar-report-v1, for CI and
+ * downstream tooling) and writeMarkdown (for humans).
+ */
+
+#ifndef CEDAR_CORE_REPORT_HH
+#define CEDAR_CORE_REPORT_HH
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/breakdown.hh"
+#include "core/experiment.hh"
+#include "os/accounting.hh"
+#include "sim/types.hh"
+
+namespace cedar::core
+{
+
+/** Per-CE category totals plus the conservation arithmetic. */
+struct ReportCeRow
+{
+    unsigned ce = 0;
+    unsigned cluster = 0;
+    std::array<sim::Tick, static_cast<std::size_t>(os::TimeCat::NUM)>
+        cat{};
+    sim::Tick sum = 0; //!< over all categories (incl. idle)
+    double pctSum = 0; //!< 100 * sum / ct — 100 up to overshoot
+};
+
+/** The tracer-vs-accounting cross-check (needs a timeline). */
+struct TracerCrossCheck
+{
+    bool performed = false;
+    /** max |span ticks - ledger ticks| over (CE, non-idle cat). */
+    sim::Tick maxMismatch = 0;
+    sim::Tick spanTicks = 0;     //!< total ticks covered by spans
+    sim::Tick acctBusyTicks = 0; //!< total non-idle ledger ticks
+};
+
+/** The full decomposition document for one run. */
+struct Report
+{
+    std::string app;
+    unsigned nprocs = 0;
+    unsigned nClusters = 0;
+    unsigned cesPerCluster = 0;
+    std::string status;
+    sim::Tick ct = 0;
+    double seconds = 0;
+    double concurrency = 0;
+
+    CtBreakdown totalCt;                    //!< Figure 3, machine
+    std::vector<CtBreakdown> clusterCt;     //!< Figure 3, per cluster
+    std::vector<OsActivityRow> osTable;     //!< Table 2
+    std::vector<UserBreakdown> userByCluster; //!< Figure 4
+
+    std::vector<ReportCeRow> ces;
+    /** max |per-CE category sum - ct| (bounded by the accounting
+     *  overshoot: in-flight ops charged at issue). */
+    sim::Tick maxConservationError = 0;
+    TracerCrossCheck tracer;
+
+    void writeJson(std::ostream &os) const;
+    void writeMarkdown(std::ostream &os) const;
+};
+
+/** Build the decomposition document from a finished run. */
+Report buildReport(const RunResult &r);
+
+} // namespace cedar::core
+
+#endif // CEDAR_CORE_REPORT_HH

@@ -1,20 +1,41 @@
 #include "hpm/statfx.hh"
 
+#include <cassert>
+
 #include "sim/error.hh"
 
 namespace cedar::hpm
 {
 
-Statfx::Statfx(sim::EventQueue &eq, unsigned n_clusters,
-               std::function<unsigned(sim::ClusterId)> count_active,
-               sim::Tick period)
-    : eq_(eq), countActive_(std::move(count_active)), period_(period),
+Statfx::Statfx(sim::EventQueue &eq, obs::TelemetryBus &bus,
+               unsigned n_clusters, sim::Tick period)
+    : eq_(eq), bus_(bus), period_(period), active_(n_clusters, 0),
       activeSum_(n_clusters, 0)
 {
     // A zero period would reschedule sample() at the current tick
     // forever — a livelock the watchdog would kill mid-run.
     if (period_ == 0)
         throw sim::SimError("statfx: sampling period must be positive");
+    bus_.subscribe(this, {obs::EventKind::ce_state});
+}
+
+Statfx::~Statfx()
+{
+    bus_.unsubscribe(this);
+}
+
+void
+Statfx::onTelemetry(const obs::TelemetryEvent &e)
+{
+    const auto c = static_cast<std::size_t>(e.res);
+    if (c >= active_.size())
+        return;
+    if (e.active()) {
+        ++active_[c];
+    } else {
+        assert(active_[c] > 0 && "inactive edge without matching active");
+        --active_[c];
+    }
 }
 
 void
@@ -37,7 +58,15 @@ Statfx::sample()
         return;
     for (sim::ClusterId c = 0;
          c < static_cast<sim::ClusterId>(activeSum_.size()); ++c) {
-        activeSum_[c] += countActive_(c);
+        activeSum_[c] += active_[c];
+        if (bus_.wants(obs::EventKind::sample)) {
+            obs::TelemetryEvent e;
+            e.kind = obs::EventKind::sample;
+            e.when = eq_.now();
+            e.id = active_[c];
+            e.res = c;
+            bus_.publish(e);
+        }
     }
     ++samples_;
     pending_ = true;

@@ -8,15 +8,21 @@
  * active (it is executing the spin loop) while detached CEs of a
  * cluster are idle — which is exactly why, during serial code, the
  * concurrency is 1 per cluster.
+ *
+ * Rather than polling the machine through a callback, statfx is a
+ * TelemetryBus subscriber: every ce_state edge keeps a per-cluster
+ * active counter current, and the periodic sample just reads the
+ * counters (and republishes them as EventKind::sample for any
+ * downstream listener, e.g. the live progress heartbeat).
  */
 
 #ifndef CEDAR_HPM_STATFX_HH
 #define CEDAR_HPM_STATFX_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -24,22 +30,28 @@ namespace cedar::hpm
 {
 
 /** Periodic sampling concurrency monitor. */
-class Statfx
+class Statfx : public obs::TelemetrySink
 {
   public:
     /**
      * @param eq event queue driving the samples.
+     * @param bus telemetry bus carrying the ce_state edges.
      * @param n_clusters clusters to sample.
-     * @param count_active callback returning the number of active
-     *        CEs on a cluster right now.
      * @param period sampling period in ticks.
      *
      * @throws sim::SimError when @p period is zero (a zero period
      *         would livelock the event queue at the current tick).
      */
-    Statfx(sim::EventQueue &eq, unsigned n_clusters,
-           std::function<unsigned(sim::ClusterId)> count_active,
-           sim::Tick period);
+    Statfx(sim::EventQueue &eq, obs::TelemetryBus &bus,
+           unsigned n_clusters, sim::Tick period);
+
+    ~Statfx() override;
+
+    Statfx(const Statfx &) = delete;
+    Statfx &operator=(const Statfx &) = delete;
+
+    /** Track ce_state edges (the bus delivers only that kind). */
+    void onTelemetry(const obs::TelemetryEvent &e) override;
 
     /**
      * Begin sampling; keeps rescheduling itself until stop().
@@ -53,6 +65,9 @@ class Statfx
 
     std::uint64_t samples() const { return samples_; }
 
+    /** Active CEs on cluster @p c right now (event-driven count). */
+    unsigned activeNow(sim::ClusterId c) const { return active_.at(c); }
+
     /** Mean active CEs on one cluster over the sampled window. */
     double clusterConcurrency(sim::ClusterId c) const;
 
@@ -63,12 +78,13 @@ class Statfx
     void sample();
 
     sim::EventQueue &eq_;
-    std::function<unsigned(sim::ClusterId)> countActive_;
+    obs::TelemetryBus &bus_;
     sim::Tick period_;
     bool running_ = false;
     /** A sample() callback sits in the event queue right now. */
     bool pending_ = false;
     std::uint64_t samples_ = 0;
+    std::vector<unsigned> active_;
     std::vector<std::uint64_t> activeSum_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "fault/fault.hh"
 #include "hpm/trace.hh"
+#include "obs/tracer.hh"
 
 namespace cedar::hw
 {
@@ -17,10 +18,21 @@ Ce::Ce(sim::EventQueue &eq, net::Network &net, os::Accounting &acct,
 }
 
 void
+Ce::noteStateChange(bool was)
+{
+    const bool is = active();
+    if (is != was && tracer_)
+        tracer_->ceState(static_cast<int>(id_),
+                         static_cast<int>(cluster_), eq_.now(), is);
+}
+
+void
 Ce::markIdle()
 {
     assert(!busy_);
+    const bool was = active();
     waiting_ = false;
+    noteStateChange(was);
 }
 
 void
@@ -28,7 +40,9 @@ Ce::finishOp(sim::Tick completion, sim::Cont k)
 {
     assert(!busy_ && "CE already has an outstanding primitive");
     assert(!waiting_ && "CE cannot start a primitive while waiting");
+    const bool was = active();
     busy_ = true;
+    noteStateChange(was);
     eq_.schedule(completion, [this, k = std::move(k)] { opDone(k); });
 }
 
@@ -43,7 +57,9 @@ Ce::opDone(sim::Cont k)
         eq_.scheduleIn(p, [this, k = std::move(k)] { opDone(k); });
         return;
     }
+    const bool was = active();
     busy_ = false;
+    noteStateChange(was);
     k();
 }
 
@@ -51,6 +67,8 @@ void
 Ce::compute(sim::Tick n, os::UserAct act, sim::Cont k)
 {
     acct_.addUser(id_, act, n);
+    if (tracer_)
+        tracer_->userSpan(static_cast<int>(id_), act, eq_.now(), n);
     finishOp(eq_.now() + n, std::move(k));
 }
 
@@ -58,13 +76,16 @@ Ce::BurstTiming
 Ce::reserveBurst(sim::Addr addr, unsigned words)
 {
     const sim::Tick start = eq_.now();
+    const std::uint32_t flow =
+        tracer_ ? tracer_->flowBegin(static_cast<int>(id_), start) : 0;
     sim::Tick issue = start;
     sim::Tick complete = start;
     sim::Tick unloaded_last = 0;
     unsigned issued = 0;
 
     for (const auto &chunk : net_.gmemMap().chunkify(addr, words)) {
-        const auto res = net_.chunkAccess(issue, cluster_, local_, chunk);
+        const auto res =
+            net_.chunkAccess(issue, cluster_, local_, chunk, flow);
         complete = std::max(complete, res.complete);
         unloaded_last = res.unloaded;
         issued += chunk.len;
@@ -80,6 +101,7 @@ Ce::reserveBurst(sim::Addr addr, unsigned words)
     // Zero-contention duration of the same stream: pipeline fill of
     // all but the last chunk, plus the last chunk's full latency.
     t.unloaded = (issue - start) + unloaded_last;
+    t.flow = flow;
     return t;
 }
 
@@ -99,6 +121,8 @@ Ce::issueGlobal(sim::Addr addr, unsigned words, os::UserAct act,
     const auto t = reserveBurst(addr, words);
 
     if (t.complete == sim::max_tick) {
+        if (tracer_)
+            tracer_->flowEnd(t.flow, static_cast<int>(id_), eq_.now());
         faultedAccess(
             addr, act, attempt,
             [this, addr, words, act, k](unsigned next) {
@@ -115,6 +139,10 @@ Ce::issueGlobal(sim::Addr addr, unsigned words, os::UserAct act,
         queueingStall_ += duration - t.unloaded;
 
     acct_.addUser(id_, act, duration);
+    if (tracer_) {
+        tracer_->userSpan(static_cast<int>(id_), act, start, duration);
+        tracer_->flowEnd(t.flow, static_cast<int>(id_), t.complete);
+    }
     finishOp(t.complete, std::move(k));
 }
 
@@ -137,6 +165,8 @@ Ce::issuePrefetch(sim::Tick n, sim::Addr addr, unsigned words,
     const auto t = reserveBurst(addr, words);
 
     if (t.complete == sim::max_tick) {
+        if (tracer_)
+            tracer_->flowEnd(t.flow, static_cast<int>(id_), eq_.now());
         faultedAccess(
             addr, act, attempt,
             [this, n, addr, words, act, k](unsigned next) {
@@ -146,6 +176,9 @@ Ce::issuePrefetch(sim::Tick n, sim::Addr addr, unsigned words,
             // remains; the stream is written off.
             [this, n, act, k] {
                 acct_.addUser(id_, act, n);
+                if (tracer_)
+                    tracer_->userSpan(static_cast<int>(id_), act,
+                                      eq_.now(), n);
                 finishOp(eq_.now() + n, k);
             });
         return;
@@ -160,6 +193,10 @@ Ce::issuePrefetch(sim::Tick n, sim::Addr addr, unsigned words,
         queueingStall_ += duration - hidden_min;
 
     acct_.addUser(id_, act, duration);
+    if (tracer_) {
+        tracer_->userSpan(static_cast<int>(id_), act, start, duration);
+        tracer_->flowEnd(t.flow, static_cast<int>(id_), t.complete);
+    }
     finishOp(complete, std::move(k));
 }
 
@@ -175,12 +212,16 @@ Ce::issueRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
              unsigned attempt, const ValCont &k)
 {
     const sim::Tick start = eq_.now();
-    const auto res = net_.rmw(start, cluster_, local_, addr, f);
+    const std::uint32_t flow =
+        tracer_ ? tracer_->flowBegin(static_cast<int>(id_), start) : 0;
+    const auto res = net_.rmw(start, cluster_, local_, addr, f, flow);
 
     globalWords_ += 1;
     ++globalAccesses_;
 
     if (res.complete == sim::max_tick) {
+        if (tracer_)
+            tracer_->flowEnd(flow, static_cast<int>(id_), eq_.now());
         // The dead module did not apply the mutation, so a retry
         // cannot double-apply it.
         faultedAccess(
@@ -203,6 +244,10 @@ Ce::issueRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
         queueingStall_ += duration - res.unloaded;
 
     acct_.addUser(id_, act, duration);
+    if (tracer_) {
+        tracer_->userSpan(static_cast<int>(id_), act, start, duration);
+        tracer_->flowEnd(flow, static_cast<int>(id_), res.complete);
+    }
     const std::uint64_t old = res.oldValue;
     finishOp(res.complete, [k, old] { k(old); });
 }
@@ -216,7 +261,9 @@ Ce::faultedAccess(sim::Addr addr, os::UserAct act, unsigned attempt,
         // No timeout path: the CE hangs on the bus, exactly as the
         // stock hardware would. The runtime reports the deadlock.
         recordFault(fault::FaultKind::access_parked, addr);
+        const bool was = active();
         parked_ = true;
+        noteStateChange(was);
         return;
     }
     if (attempt > costs_.gm_max_retries) {
@@ -229,6 +276,8 @@ Ce::faultedAccess(sim::Addr addr, os::UserAct act, unsigned attempt,
     const sim::Tick wait =
         costs_.gm_timeout + (costs_.gm_retry_backoff << attempt);
     acct_.addUser(id_, act, wait);
+    if (tracer_)
+        tracer_->userSpan(static_cast<int>(id_), act, eq_.now(), wait);
     finishOp(eq_.now() + wait, [retry, attempt] { retry(attempt + 1); });
 }
 
@@ -243,6 +292,8 @@ void
 Ce::osCompute(sim::Tick n, os::TimeCat cat, os::OsAct act, sim::Cont k)
 {
     acct_.addOs(id_, cat, act, n);
+    if (tracer_)
+        tracer_->osSpan(static_cast<int>(id_), cat, act, eq_.now(), n);
     finishOp(eq_.now() + n, std::move(k));
 }
 
@@ -257,8 +308,10 @@ void
 Ce::beginWait(bool passive)
 {
     assert(!busy_ && !waiting_);
+    const bool was = active();
     waiting_ = true;
     passiveWait_ = passive;
+    noteStateChange(was);
     waitStart_ = eq_.now();
     waitOverlap_ = 0;
 }
@@ -267,8 +320,10 @@ sim::Tick
 Ce::endWait()
 {
     assert(waiting_);
+    const bool was = active();
     waiting_ = false;
     passiveWait_ = false;
+    noteStateChange(was);
     const sim::Tick wall = eq_.now() - waitStart_;
     return wall > waitOverlap_ ? wall - waitOverlap_ : 0;
 }
@@ -277,8 +332,12 @@ sim::Tick
 Ce::endWaitUser(os::UserAct act)
 {
     const sim::Tick waited = endWait();
-    if (waited > 0)
+    if (waited > 0) {
         acct_.addUser(id_, act, waited);
+        if (tracer_)
+            tracer_->userSpan(static_cast<int>(id_), act,
+                              eq_.now() - waited, waited);
+    }
     return waited;
 }
 
@@ -286,8 +345,12 @@ sim::Tick
 Ce::endWaitKernelSpin()
 {
     const sim::Tick waited = endWait();
-    if (waited > 0)
+    if (waited > 0) {
         acct_.addKernelSpin(id_, waited);
+        if (tracer_)
+            tracer_->spinSpan(static_cast<int>(id_),
+                              eq_.now() - waited, waited);
+    }
     return waited;
 }
 
@@ -299,6 +362,9 @@ Ce::chargeInterrupt(sim::Tick n, os::TimeCat cat, os::OsAct act)
     // subtract it from whatever user interval it elongates.
     trace_.post(eq_.now(), id_, hpm::EventId::os_overlay,
                 static_cast<std::uint32_t>(n));
+    if (tracer_)
+        tracer_->osSpan(static_cast<int>(id_), cat, act, eq_.now(), n,
+                        /*overlay=*/true);
     if (waiting_) {
         waitOverlap_ += n;
     } else {
@@ -315,6 +381,9 @@ Ce::chargeKernelSpin(sim::Tick n)
     acct_.addKernelSpin(id_, n);
     trace_.post(eq_.now(), id_, hpm::EventId::os_overlay,
                 static_cast<std::uint32_t>(n));
+    if (tracer_)
+        tracer_->spinSpan(static_cast<int>(id_), eq_.now(), n,
+                          /*overlay=*/true);
     if (waiting_) {
         waitOverlap_ += n;
     } else {

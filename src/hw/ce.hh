@@ -40,6 +40,11 @@ class FaultLog;
 enum class FaultKind;
 }
 
+namespace cedar::obs
+{
+class Tracer;
+}
+
 namespace cedar::hw
 {
 
@@ -86,6 +91,9 @@ class Ce
 
     /** Attach the fault log recording this CE's resilience events. */
     void setFaultLog(fault::FaultLog *log) { flog_ = log; }
+
+    /** Attach the telemetry tracer (spans, flows, activity edges). */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
 
     // ----- program-order primitives -----
 
@@ -181,6 +189,7 @@ class Ce
     {
         sim::Tick complete;
         sim::Tick unloaded;
+        std::uint32_t flow; //!< telemetry flow id (0 = unwatched)
     };
 
     /** Reserve a pipelined chunk stream through the network. */
@@ -211,6 +220,9 @@ class Ce
 
     void recordFault(fault::FaultKind kind, std::uint64_t arg);
 
+    /** Publish a ce_state edge if active() changed from @p was. */
+    void noteStateChange(bool was);
+
     sim::EventQueue &eq_;
     net::Network &net_;
     os::Accounting &acct_;
@@ -234,6 +246,7 @@ class Ce
     sim::Tick queueingStall_ = 0;
 
     fault::FaultLog *flog_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
     std::uint64_t degradedAccesses_ = 0;
 };
 

@@ -38,6 +38,7 @@ class Cluster
     Ce &lead() { return *ces_.front(); }
 
     ConcurrencyBus &bus() { return bus_; }
+    const ConcurrencyBus &bus() const { return bus_; }
 
     /** Number of active CEs right now (statfx's view). */
     unsigned activeCount() const;

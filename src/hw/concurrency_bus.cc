@@ -1,6 +1,7 @@
 #include "hw/concurrency_bus.hh"
 
 #include "hpm/trace.hh"
+#include "obs/tracer.hh"
 
 #include <cassert>
 
@@ -23,7 +24,7 @@ ConcurrencyBus::arrive(Ce &ce, os::UserAct act, sim::Cont k)
     ce.trace().post(eq_.now(), ce.id(), hpm::EventId::cls_sync_enter,
                     static_cast<std::uint32_t>(act));
     ce.beginWait(/*passive=*/true);
-    waiters_.push_back(Waiter{&ce, act, std::move(k)});
+    waiters_.push_back(Waiter{&ce, act, std::move(k), eq_.now()});
 
     if (waiters_.size() < expected_)
         return;
@@ -36,6 +37,11 @@ ConcurrencyBus::arrive(Ce &ce, os::UserAct act, sim::Cont k)
     waiters_.clear();
     const sim::Tick resume = eq_.now() + costs_.cdoall_sync;
     for (auto &w : woken) {
+        const sim::Tick skew = eq_.now() - w.arrival;
+        stats_.record(skew, costs_.cdoall_sync);
+        if (tracer_)
+            tracer_->resourceWait(obs::ResourceClass::concurrency_bus,
+                                  clusterIdx_, w.arrival, skew);
         eq_.schedule(resume, [this, w] {
             w.ce->endWaitUser(w.act);
             w.ce->trace().post(eq_.now(), w.ce->id(),

@@ -17,7 +17,13 @@
 
 #include "hw/ce.hh"
 #include "sim/event_queue.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
+
+namespace cedar::obs
+{
+class Tracer;
+}
 
 namespace cedar::hw
 {
@@ -49,16 +55,33 @@ class ConcurrencyBus
 
     bool inFlight() const { return expected_ != 0; }
 
+    /** Attach the telemetry tracer; @p cluster_idx identifies this
+     *  bus in the concurrency_bus resource class. */
+    void
+    setTracer(obs::Tracer *t, int cluster_idx)
+    {
+        tracer_ = t;
+        clusterIdx_ = cluster_idx;
+    }
+
+    /** Barrier statistics: one request per arrival, wait = skew at
+     *  the barrier, service = the bus sync cost. */
+    const sim::ServerStats &stats() const { return stats_; }
+
   private:
     struct Waiter
     {
         Ce *ce;
         os::UserAct act;
         sim::Cont k;
+        sim::Tick arrival;
     };
 
     sim::EventQueue &eq_;
     const CostModel &costs_;
+    obs::Tracer *tracer_ = nullptr;
+    int clusterIdx_ = 0;
+    sim::ServerStats stats_;
     unsigned expected_ = 0;
     std::vector<Waiter> waiters_;
 };

@@ -15,31 +15,29 @@ Machine::validated(const CedarConfig &cfg)
 }
 
 Machine::Machine(const CedarConfig &cfg)
-    : cfg_(validated(cfg)), rng_(cfg.seed),
+    : cfg_(validated(cfg)), rng_(cfg.seed), hub_(bus_), tracer_(bus_),
       gmem_(mem::AddressMap(cfg.nModules, cfg.groupSize)),
       net_(cfg.nClusters, cfg.cesPerCluster, gmem_),
       acct_(cfg.nClusters, cfg.cesPerCluster),
-      statfx_(eq_, cfg.nClusters,
-              [this](sim::ClusterId c) { return cluster(c).activeCount(); },
-              cfg.costs.statfx_period)
+      statfx_(eq_, bus_, cfg.nClusters, cfg.costs.statfx_period)
 {
     for (unsigned c = 0; c < cfg.nClusters; ++c) {
         clusters_.push_back(std::make_unique<Cluster>(
             eq_, net_, acct_, trace_, cfg_.costs,
             static_cast<sim::ClusterId>(c), cfg.cesPerCluster));
-        for (unsigned p = 0; p < cfg.cesPerCluster; ++p)
-            clusters_.back()->ce(static_cast<int>(p)).setFaultLog(&flog_);
+        auto &cl = *clusters_.back();
+        cl.bus().setTracer(&tracer_, static_cast<int>(c));
+        for (unsigned p = 0; p < cfg.cesPerCluster; ++p) {
+            cl.ce(static_cast<int>(p)).setFaultLog(&flog_);
+            cl.ce(static_cast<int>(p)).setTracer(&tracer_);
+        }
     }
     xylem_ = std::make_unique<os::Xylem>(*this);
 
-    // Feed every FIFO server's queueing waits into the per-class
-    // wait-latency histograms the metrics layer reports.
-    net_.visitPortsMut([this](const net::PortSite &s, sim::FifoServer &p) {
-        p.attachWaitHist(&waitHists_.of(obs::classFromBank(s.bank)));
-    });
-    for (unsigned m = 0; m < gmem_.map().numModules(); ++m)
-        gmem_.moduleServerMut(m).attachWaitHist(
-            &waitHists_.of(obs::ResourceClass::memory_module));
+    // Every queueing wait in the machine reaches the MetricsHub (and
+    // any other subscriber) through the tracer.
+    net_.setTracer(&tracer_);
+    gmem_.setTracer(&tracer_);
 }
 
 Machine::~Machine() = default;

@@ -19,6 +19,8 @@
 #include "mem/global_memory.hh"
 #include "net/network.hh"
 #include "obs/resource.hh"
+#include "obs/telemetry.hh"
+#include "obs/tracer.hh"
 #include "os/accounting.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -55,16 +57,28 @@ class Machine
     hpm::Trace &trace() { return trace_; }
     hpm::Statfx &statfx() { return statfx_; }
     os::Xylem &xylem() { return *xylem_; }
+    const os::Xylem &xylem() const { return *xylem_; }
     fault::FaultLog &faultLog() { return flog_; }
     const fault::FaultLog &faultLog() const { return flog_; }
 
+    /** The machine's telemetry stream (see obs/telemetry.hh). */
+    obs::TelemetryBus &telemetry() { return bus_; }
+    obs::Tracer &tracer() { return tracer_; }
+
+    /** Always-on bus subscriber feeding the per-class wait metrics. */
+    const obs::MetricsHub &metricsHub() const { return hub_; }
+
     /** Per-resource-class wait-latency histograms (obs layer). */
-    const obs::WaitHistograms &waitHists() const { return waitHists_; }
+    const obs::WaitHistograms &waitHists() const { return hub_.hists(); }
 
     unsigned numClusters() const { return cfg_.nClusters; }
     unsigned numCes() const { return cfg_.numCes(); }
 
     Cluster &cluster(sim::ClusterId c) { return *clusters_.at(c); }
+    const Cluster &cluster(sim::ClusterId c) const
+    {
+        return *clusters_.at(c);
+    }
     Ce &ce(sim::CeId id);
 
     sim::Tick now() const { return eq_.now(); }
@@ -89,6 +103,11 @@ class Machine
     CedarConfig cfg_;
     sim::EventQueue eq_;
     sim::RandomGen rng_;
+    /** Telemetry first: the hub subscribes and the tracer publishes
+     *  before any producer (memory, network, CEs) is wired to it. */
+    obs::TelemetryBus bus_;
+    obs::MetricsHub hub_;
+    obs::Tracer tracer_;
     mem::GlobalMemory gmem_;
     net::Network net_;
     os::Accounting acct_;
@@ -97,8 +116,6 @@ class Machine
     std::unique_ptr<os::Xylem> xylem_;
     hpm::Statfx statfx_;
     fault::FaultLog flog_;
-    /** Wait histograms fed by every FIFO server (attached in ctor). */
-    obs::WaitHistograms waitHists_;
     sim::Addr nextAddr_ = 0;
     sim::Addr nextSync_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "obs/tracer.hh"
 #include "sim/error.hh"
 
 namespace cedar::mem
@@ -58,8 +59,23 @@ GlobalMemory::effect(unsigned m, sim::Tick arrival, sim::Tick base) const
     return e;
 }
 
+void
+GlobalMemory::noteServe(unsigned m, sim::Tick arrival, sim::Tick start,
+                        sim::Tick service, sim::Tick done,
+                        std::uint32_t flow)
+{
+    // The published wait is exactly what ServerStats recorded for
+    // this serve: max(arrival, not_before, free_at) - arrival.
+    tracer_->resourceWait(obs::ResourceClass::memory_module,
+                          static_cast<std::int32_t>(m), arrival,
+                          start - arrival);
+    tracer_->flowStage(flow, obs::FlowStage::module, done,
+                       static_cast<std::int32_t>(m), service);
+}
+
 MemAccessResult
-GlobalMemory::accessChunk(sim::Tick arrival, const Chunk &chunk)
+GlobalMemory::accessChunk(sim::Tick arrival, const Chunk &chunk,
+                          std::uint32_t flow)
 {
     assert(chunk.len > 0);
     MemAccessResult res{0, 0};
@@ -74,6 +90,9 @@ GlobalMemory::accessChunk(sim::Tick arrival, const Chunk &chunk)
         const sim::Tick before = srv.freeAt();
         const sim::Tick done =
             srv.serve(arrival, ef.service, ef.notBefore);
+        if (tracer_)
+            noteServe(m, arrival, done - ef.service, ef.service, done,
+                      flow);
         res.complete = std::max(res.complete, done);
         if (before > arrival)
             res.wait += before - arrival;
@@ -84,7 +103,7 @@ GlobalMemory::accessChunk(sim::Tick arrival, const Chunk &chunk)
 MemAccessResult
 GlobalMemory::rmw(sim::Tick arrival, sim::Addr addr,
                   const std::function<std::uint64_t(std::uint64_t)> &f,
-                  std::uint64_t *old_out)
+                  std::uint64_t *old_out, std::uint32_t flow)
 {
     const unsigned m = map_.module(addr);
     const ServiceEffect ef = effect(m, arrival, rmw_service);
@@ -99,6 +118,8 @@ GlobalMemory::rmw(sim::Tick arrival, sim::Addr addr,
     sim::FifoServer &srv = modules_[m];
     const sim::Tick before = srv.freeAt();
     const sim::Tick done = srv.serve(arrival, ef.service, ef.notBefore);
+    if (tracer_)
+        noteServe(m, arrival, done - ef.service, ef.service, done, flow);
 
     std::uint64_t &cell = words_[addr];
     if (old_out)

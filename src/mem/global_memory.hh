@@ -21,6 +21,11 @@
 #include "sim/fifo_server.hh"
 #include "sim/types.hh"
 
+namespace cedar::obs
+{
+class Tracer;
+}
+
 namespace cedar::mem
 {
 
@@ -67,11 +72,16 @@ class GlobalMemory
 
     const AddressMap &map() const { return map_; }
 
+    /** Attach the telemetry tracer (module waits, flow milestones). */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+
     /**
      * Access a chunk (all words within one module group): each
-     * touched module serves one word.
+     * touched module serves one word. A non-zero @p flow tags the
+     * module milestones in the telemetry stream.
      */
-    MemAccessResult accessChunk(sim::Tick arrival, const Chunk &chunk);
+    MemAccessResult accessChunk(sim::Tick arrival, const Chunk &chunk,
+                                std::uint32_t flow = 0);
 
     /**
      * Atomically apply @p f to the word at @p addr, serialised in
@@ -82,7 +92,7 @@ class GlobalMemory
     MemAccessResult
     rmw(sim::Tick arrival, sim::Addr addr,
         const std::function<std::uint64_t(std::uint64_t)> &f,
-        std::uint64_t *old_out = nullptr);
+        std::uint64_t *old_out = nullptr, std::uint32_t flow = 0);
 
     /**
      * Apply @p f to the word at @p addr without timing or module
@@ -148,6 +158,12 @@ class GlobalMemory
     ServiceEffect effect(unsigned m, sim::Tick arrival,
                          sim::Tick base) const;
 
+    /** Publish one served request's queueing wait + flow milestone. */
+    void noteServe(unsigned m, sim::Tick arrival, sim::Tick start,
+                   sim::Tick service, sim::Tick done,
+                   std::uint32_t flow);
+
+    obs::Tracer *tracer_ = nullptr;
     AddressMap map_;
     std::vector<sim::FifoServer> modules_;
     std::unordered_map<sim::Addr, std::uint64_t> words_;

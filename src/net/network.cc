@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/tracer.hh"
 #include "sim/error.hh"
 
 namespace cedar::net
@@ -47,36 +48,77 @@ Network::Network(unsigned n_clusters, unsigned ces_per_cluster,
     }
 }
 
+void
+Network::noteWait(obs::ResourceClass cls, std::int32_t res,
+                  sim::Tick arrival, sim::Tick free_at)
+{
+    if (tracer_)
+        tracer_->resourceWait(cls, res, arrival,
+                              free_at > arrival ? free_at - arrival : 0);
+}
+
 sim::Tick
 Network::forwardPath(sim::Tick when, sim::ClusterId cluster, unsigned group,
-                     unsigned len)
+                     unsigned len, std::uint32_t flow)
 {
-    const sim::Tick t1 =
-        stage1_[cluster].port(group).serve(when + hop_latency, len);
-    return stage2In_[group].port(cluster).serve(t1 + hop_latency, len);
+    const auto groups = static_cast<unsigned>(stage2In_.size());
+    auto &p1 = stage1_[cluster].port(group);
+    noteWait(obs::ResourceClass::stage1_port,
+             static_cast<std::int32_t>(cluster * groups + group),
+             when + hop_latency, p1.freeAt());
+    const sim::Tick t1 = p1.serve(when + hop_latency, len);
+    if (tracer_)
+        tracer_->flowStage(
+            flow, obs::FlowStage::stage1, t1,
+            static_cast<std::int32_t>(cluster * groups + group), len);
+
+    auto &p2 = stage2In_[group].port(cluster);
+    noteWait(obs::ResourceClass::stage2_port,
+             static_cast<std::int32_t>(group * nClusters_ + cluster),
+             t1 + hop_latency, p2.freeAt());
+    const sim::Tick t2 = p2.serve(t1 + hop_latency, len);
+    if (tracer_)
+        tracer_->flowStage(
+            flow, obs::FlowStage::stage2, t2,
+            static_cast<std::int32_t>(group * nClusters_ + cluster), len);
+    return t2;
 }
 
 sim::Tick
 Network::returnPath(sim::Tick when, sim::ClusterId cluster, int ce_port,
-                    unsigned group, unsigned len)
+                    unsigned group, unsigned len, std::uint32_t flow)
 {
-    const sim::Tick t3 =
-        returnA_[group].port(cluster).serve(when + hop_latency, len);
-    const sim::Tick t4 =
-        returnB_[cluster].port(ce_port).serve(t3 + hop_latency, len);
+    auto &pa = returnA_[group].port(cluster);
+    noteWait(obs::ResourceClass::return_a_port,
+             static_cast<std::int32_t>(group * nClusters_ + cluster),
+             when + hop_latency, pa.freeAt());
+    const sim::Tick t3 = pa.serve(when + hop_latency, len);
+
+    auto &pb = returnB_[cluster].port(ce_port);
+    noteWait(obs::ResourceClass::return_b_port,
+             static_cast<std::int32_t>(cluster * cesPerCluster_ +
+                                       static_cast<unsigned>(ce_port)),
+             t3 + hop_latency, pb.freeAt());
+    const sim::Tick t4 = pb.serve(t3 + hop_latency, len);
+    if (tracer_)
+        tracer_->flowStage(
+            flow, obs::FlowStage::ret, t4,
+            static_cast<std::int32_t>(cluster * cesPerCluster_ +
+                                      static_cast<unsigned>(ce_port)),
+            len);
     return t4 + hop_latency;
 }
 
 XferResult
 Network::chunkAccess(sim::Tick when, sim::ClusterId cluster, int ce_port,
-                     const mem::Chunk &chunk)
+                     const mem::Chunk &chunk, std::uint32_t flow)
 {
     checkCluster(cluster, nClusters_);
     assert(chunk.len >= 1 && chunk.len <= gmem_.map().groupSize());
 
     const unsigned group = gmem_.map().group(chunk.addr);
-    const sim::Tick t2 = forwardPath(when, cluster, group, chunk.len);
-    const auto mem = gmem_.accessChunk(t2 + hop_latency, chunk);
+    const sim::Tick t2 = forwardPath(when, cluster, group, chunk.len, flow);
+    const auto mem = gmem_.accessChunk(t2 + hop_latency, chunk, flow);
 
     XferResult res;
     res.unloaded = unloadedLatency(chunk.len, false);
@@ -86,22 +128,23 @@ Network::chunkAccess(sim::Tick when, sim::ClusterId cluster, int ce_port,
         return res;
     }
     res.complete = returnPath(mem.complete, cluster, ce_port, group,
-                              chunk.len);
+                              chunk.len, flow);
     return res;
 }
 
 XferResult
 Network::rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
              sim::Addr addr,
-             const std::function<std::uint64_t(std::uint64_t)> &f)
+             const std::function<std::uint64_t(std::uint64_t)> &f,
+             std::uint32_t flow)
 {
     checkCluster(cluster, nClusters_);
 
     const unsigned group = gmem_.map().group(addr);
-    const sim::Tick t2 = forwardPath(when, cluster, group, 1);
+    const sim::Tick t2 = forwardPath(when, cluster, group, 1, flow);
 
     std::uint64_t old = 0;
-    const auto mem = gmem_.rmw(t2 + hop_latency, addr, f, &old);
+    const auto mem = gmem_.rmw(t2 + hop_latency, addr, f, &old, flow);
 
     XferResult res;
     res.unloaded = unloadedLatency(1, true);
@@ -110,7 +153,8 @@ Network::rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
         res.complete = sim::max_tick;
         return res;
     }
-    res.complete = returnPath(mem.complete, cluster, ce_port, group, 1);
+    res.complete = returnPath(mem.complete, cluster, ce_port, group, 1,
+                              flow);
     return res;
 }
 
@@ -131,20 +175,38 @@ Network::stallSwitch(sim::Tick when, unsigned stage, unsigned idx,
 {
     Crossbar *fwd = nullptr;
     Crossbar *ret = nullptr;
+    obs::ResourceClass fwd_cls, ret_cls;
     if (stage == 1 && idx < stage1_.size()) {
         fwd = &stage1_[idx];
         ret = &returnB_[idx];
+        fwd_cls = obs::ResourceClass::stage1_port;
+        ret_cls = obs::ResourceClass::return_b_port;
     } else if (stage == 2 && idx < stage2In_.size()) {
         fwd = &stage2In_[idx];
         ret = &returnA_[idx];
+        fwd_cls = obs::ResourceClass::stage2_port;
+        ret_cls = obs::ResourceClass::return_a_port;
     } else {
         throw sim::SimError("network: no stage" + std::to_string(stage) +
                             " switch " + std::to_string(idx));
     }
-    for (unsigned p = 0; p < fwd->numPorts(); ++p)
-        fwd->port(p).serve(when, duration);
-    for (unsigned p = 0; p < ret->numPorts(); ++p)
-        ret->port(p).serve(when, duration);
+    // The stall reservations go through serve() and therefore count
+    // as requests in ServerStats; publish matching (zero or pile-up)
+    // waits so per-class request counts stay consistent.
+    for (unsigned p = 0; p < fwd->numPorts(); ++p) {
+        auto &port = fwd->port(p);
+        noteWait(fwd_cls,
+                 static_cast<std::int32_t>(idx * fwd->numPorts() + p),
+                 when, port.freeAt());
+        port.serve(when, duration);
+    }
+    for (unsigned p = 0; p < ret->numPorts(); ++p) {
+        auto &port = ret->port(p);
+        noteWait(ret_cls,
+                 static_cast<std::int32_t>(idx * ret->numPorts() + p),
+                 when, port.freeAt());
+        port.serve(when, duration);
+    }
 }
 
 namespace

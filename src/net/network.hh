@@ -28,7 +28,13 @@
 
 #include "mem/global_memory.hh"
 #include "net/crossbar.hh"
+#include "obs/resource.hh"
 #include "sim/types.hh"
+
+namespace cedar::obs
+{
+class Tracer;
+}
 
 namespace cedar::net
 {
@@ -87,12 +93,17 @@ class Network
     /** Interleaving geometry of the memory behind the network. */
     const mem::AddressMap &gmemMap() const { return gmem_.map(); }
 
+    /** Attach the telemetry tracer (queueing waits, flow stages). */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+
     /**
      * Transfer one chunk (<= one module-group span) between a CE and
-     * the global memory. Reads and writes share path timing.
+     * the global memory. Reads and writes share path timing. A
+     * non-zero @p flow tags the transfer's telemetry milestones.
      */
     XferResult chunkAccess(sim::Tick when, sim::ClusterId cluster,
-                           int ce_port, const mem::Chunk &chunk);
+                           int ce_port, const mem::Chunk &chunk,
+                           std::uint32_t flow = 0);
 
     /**
      * Atomic read-modify-write of one global word (test&set,
@@ -100,7 +111,8 @@ class Network
      */
     XferResult rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
                    sim::Addr addr,
-                   const std::function<std::uint64_t(std::uint64_t)> &f);
+                   const std::function<std::uint64_t(std::uint64_t)> &f,
+                   std::uint32_t flow = 0);
 
     /** Zero-contention latency of a chunk of @p len words. */
     sim::Tick unloadedLatency(unsigned len, bool is_rmw = false) const;
@@ -159,6 +171,7 @@ class Network
     unsigned nClusters_;
     unsigned cesPerCluster_;
     mem::GlobalMemory &gmem_;
+    obs::Tracer *tracer_ = nullptr;
 
     /** Per cluster: output ports, one per stage-2 switch. */
     std::vector<Crossbar> stage1_;
@@ -169,10 +182,17 @@ class Network
     /** Return path, stage B: per cluster, output ports per CE. */
     std::vector<Crossbar> returnB_;
 
+    /** Publish one queueing wait: a request arriving at @p arrival
+     *  found its port busy until @p free_at. */
+    void noteWait(obs::ResourceClass cls, std::int32_t res,
+                  sim::Tick arrival, sim::Tick free_at);
+
     sim::Tick forwardPath(sim::Tick when, sim::ClusterId cluster,
-                          unsigned group, unsigned len);
+                          unsigned group, unsigned len,
+                          std::uint32_t flow);
     sim::Tick returnPath(sim::Tick when, sim::ClusterId cluster,
-                         int ce_port, unsigned group, unsigned len);
+                         int ce_port, unsigned group, unsigned len,
+                         std::uint32_t flow);
 };
 
 } // namespace cedar::net

@@ -56,11 +56,46 @@ shapeOf(hpm::EventId id)
     }
 }
 
+/** Track label for @p ce: topology-aware when the cluster geometry
+ *  is known, the historical flat label otherwise. */
+std::string
+ceLabel(unsigned ce, unsigned ces_per_cluster)
+{
+    if (ces_per_cluster == 0)
+        return "CE " + std::to_string(ce);
+    return "cluster " + std::to_string(ce / ces_per_cluster) + " / CE " +
+           std::to_string(ce % ces_per_cluster);
+}
+
+void
+processMeta(tools::JsonWriter &j, unsigned pid, const std::string &name)
+{
+    j.beginObject();
+    j.field("name", "process_name");
+    j.field("ph", "M");
+    j.field("pid", pid);
+    j.key("args").beginObject().field("name", name).endObject();
+    j.endObject();
+}
+
+void
+threadMeta(tools::JsonWriter &j, unsigned pid, unsigned tid,
+           const std::string &name)
+{
+    j.beginObject();
+    j.field("name", "thread_name");
+    j.field("ph", "M");
+    j.field("pid", pid);
+    j.field("tid", tid);
+    j.key("args").beginObject().field("name", name).endObject();
+    j.endObject();
+}
+
 } // namespace
 
 void
 writeChromeTrace(std::ostream &os, const std::vector<hpm::Record> &recs,
-                 double clock_hz)
+                 double clock_hz, unsigned ces_per_cluster)
 {
     if (clock_hz <= 0)
         throw sim::SimError("chrome trace: clock must be positive");
@@ -74,24 +109,9 @@ writeChromeTrace(std::ostream &os, const std::vector<hpm::Record> &recs,
     std::set<std::uint16_t> ces;
     for (const auto &r : recs)
         ces.insert(r.ce);
-    j.beginObject();
-    j.field("name", "process_name");
-    j.field("ph", "M");
-    j.field("pid", 0);
-    j.key("args").beginObject().field("name", "cedar").endObject();
-    j.endObject();
-    for (const auto ce : ces) {
-        j.beginObject();
-        j.field("name", "thread_name");
-        j.field("ph", "M");
-        j.field("pid", 0);
-        j.field("tid", static_cast<unsigned>(ce));
-        j.key("args")
-            .beginObject()
-            .field("name", "CE " + std::to_string(ce))
-            .endObject();
-        j.endObject();
-    }
+    processMeta(j, 0, "cedar");
+    for (const auto ce : ces)
+        threadMeta(j, 0, ce, ceLabel(ce, ces_per_cluster));
 
     for (const auto &r : recs) {
         const auto shape = shapeOf(r.id());
@@ -111,6 +131,188 @@ writeChromeTrace(std::ostream &os, const std::vector<hpm::Record> &recs,
             .field("arg", r.arg)
             .endObject();
         j.endObject();
+    }
+
+    j.endArray();
+    j.field("displayTimeUnit", "ms");
+    j.endObject();
+}
+
+namespace
+{
+
+/** Slice name for one span event: the charged activity. */
+const char *
+spanName(const TelemetryEvent &e)
+{
+    switch (e.cat) {
+      case os::TimeCat::user: return os::toString(e.userAct());
+      case os::TimeCat::system:
+      case os::TimeCat::interrupt: return os::toString(e.osAct());
+      case os::TimeCat::kspin: return "kernel_spin";
+      default: return "idle";
+    }
+}
+
+/** One 'X' complete slice. */
+void
+slice(tools::JsonWriter &j, const char *name, const char *cat,
+      double ts, double dur, unsigned pid, unsigned tid)
+{
+    j.beginObject();
+    j.field("name", name);
+    j.field("cat", cat);
+    j.field("ph", "X");
+    j.field("ts", ts);
+    j.field("dur", dur);
+    j.field("pid", pid);
+    j.field("tid", tid);
+    j.endObject();
+}
+
+/** One flow arrow endpoint ('s' start, 't' step, 'f' finish). */
+void
+flowPoint(tools::JsonWriter &j, char ph, std::uint32_t id, double ts,
+          unsigned pid, unsigned tid)
+{
+    j.beginObject();
+    j.field("name", "gm_request");
+    j.field("cat", "gm");
+    j.field("ph", std::string(1, ph));
+    j.field("id", id);
+    j.field("ts", ts);
+    j.field("pid", pid);
+    j.field("tid", tid);
+    if (ph == 'f')
+        j.field("bp", "e"); // bind to the enclosing slice
+    j.endObject();
+}
+
+// Span-trace process (track-group) ids, one per hardware layer.
+constexpr unsigned pid_ces = 0;
+constexpr unsigned pid_gm = 1;
+constexpr unsigned pid_stage1 = 2;
+constexpr unsigned pid_stage2 = 3;
+constexpr unsigned pid_return = 4;
+
+} // namespace
+
+void
+writeSpanTrace(std::ostream &os,
+               const std::vector<TelemetryEvent> &events,
+               const SpanTraceMeta &meta)
+{
+    if (meta.clock_hz <= 0)
+        throw sim::SimError("span trace: clock must be positive");
+    const double us = 1e6 / meta.clock_hz;
+
+    // Discover the tracks each layer needs.
+    std::set<std::int32_t> ces, modules, s1Ports, s2Ports, retPorts;
+    for (const auto &e : events) {
+        if (e.kind == EventKind::span) {
+            ces.insert(e.ce);
+        } else if (e.kind == EventKind::flow) {
+            switch (e.stage()) {
+              case FlowStage::issue:
+              case FlowStage::complete: ces.insert(e.ce); break;
+              case FlowStage::stage1: s1Ports.insert(e.res); break;
+              case FlowStage::stage2: s2Ports.insert(e.res); break;
+              case FlowStage::module: modules.insert(e.res); break;
+              case FlowStage::ret: retPorts.insert(e.res); break;
+            }
+        }
+    }
+
+    tools::JsonWriter j(os);
+    j.beginObject();
+    j.key("traceEvents").beginArray();
+
+    processMeta(j, pid_ces, "CEs");
+    for (const auto ce : ces)
+        threadMeta(j, pid_ces, static_cast<unsigned>(ce),
+                   ceLabel(static_cast<unsigned>(ce),
+                           meta.ces_per_cluster));
+    if (!modules.empty()) {
+        processMeta(j, pid_gm, "global memory");
+        for (const auto m : modules)
+            threadMeta(j, pid_gm, static_cast<unsigned>(m),
+                       "GM module " + std::to_string(m));
+    }
+    if (!s1Ports.empty()) {
+        processMeta(j, pid_stage1, "network stage 1");
+        for (const auto p : s1Ports)
+            threadMeta(j, pid_stage1, static_cast<unsigned>(p),
+                       "stage1 port " + std::to_string(p));
+    }
+    if (!s2Ports.empty()) {
+        processMeta(j, pid_stage2, "network stage 2");
+        for (const auto p : s2Ports)
+            threadMeta(j, pid_stage2, static_cast<unsigned>(p),
+                       "stage2 port " + std::to_string(p));
+    }
+    if (!retPorts.empty()) {
+        processMeta(j, pid_return, "network return");
+        for (const auto p : retPorts)
+            threadMeta(j, pid_return, static_cast<unsigned>(p),
+                       "return port " + std::to_string(p));
+    }
+
+    for (const auto &e : events) {
+        if (e.kind == EventKind::span) {
+            j.beginObject();
+            j.field("name", spanName(e));
+            j.field("cat", os::toString(e.cat));
+            j.field("ph", "X");
+            j.field("ts", static_cast<double>(e.when) * us);
+            j.field("dur", static_cast<double>(e.dur) * us);
+            j.field("pid", pid_ces);
+            j.field("tid", static_cast<unsigned>(e.ce));
+            if (e.overlay())
+                j.key("args")
+                    .beginObject()
+                    .field("overlay", 1)
+                    .endObject();
+            j.endObject();
+            continue;
+        }
+        if (e.kind != EventKind::flow)
+            continue;
+        const auto tick_us = static_cast<double>(e.when) * us;
+        const auto dur_us = static_cast<double>(e.dur) * us;
+        switch (e.stage()) {
+          case FlowStage::issue:
+            flowPoint(j, 's', e.id, tick_us, pid_ces,
+                      static_cast<unsigned>(e.ce));
+            break;
+          case FlowStage::stage1:
+            slice(j, "xfer", "net", tick_us - dur_us, dur_us,
+                  pid_stage1, static_cast<unsigned>(e.res));
+            flowPoint(j, 't', e.id, tick_us - dur_us, pid_stage1,
+                      static_cast<unsigned>(e.res));
+            break;
+          case FlowStage::stage2:
+            slice(j, "xfer", "net", tick_us - dur_us, dur_us,
+                  pid_stage2, static_cast<unsigned>(e.res));
+            flowPoint(j, 't', e.id, tick_us - dur_us, pid_stage2,
+                      static_cast<unsigned>(e.res));
+            break;
+          case FlowStage::module:
+            slice(j, "serve", "gm", tick_us - dur_us, dur_us, pid_gm,
+                  static_cast<unsigned>(e.res));
+            flowPoint(j, 't', e.id, tick_us - dur_us, pid_gm,
+                      static_cast<unsigned>(e.res));
+            break;
+          case FlowStage::ret:
+            slice(j, "xfer", "net", tick_us - dur_us, dur_us,
+                  pid_return, static_cast<unsigned>(e.res));
+            flowPoint(j, 't', e.id, tick_us - dur_us, pid_return,
+                      static_cast<unsigned>(e.res));
+            break;
+          case FlowStage::complete:
+            flowPoint(j, 'f', e.id, tick_us, pid_ces,
+                      static_cast<unsigned>(e.ce));
+            break;
+        }
     }
 
     j.endArray();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "hpm/trace.hh"
+#include "obs/telemetry.hh"
 #include "sim/types.hh"
 
 namespace cedar::obs
@@ -28,16 +29,46 @@ namespace cedar::obs
 /**
  * Write @p recs as a Chrome trace_event JSON document.
  *
+ * When @p ces_per_cluster is non-zero the per-CE track names carry
+ * the machine topology ("cluster 2 / CE 5"); zero keeps the flat
+ * "CE n" labels.
+ *
  * @throws sim::SimError when @p clock_hz is not positive.
  */
 void writeChromeTrace(std::ostream &os,
                       const std::vector<hpm::Record> &recs,
-                      double clock_hz = sim::default_clock_hz);
+                      double clock_hz = sim::default_clock_hz,
+                      unsigned ces_per_cluster = 0);
 
 /** Convert an off-loaded .chpm trace file to Chrome JSON. */
 void convertTraceFile(const std::string &chpm_path,
                       const std::string &json_path,
                       double clock_hz = sim::default_clock_hz);
+
+/** Rendering options for the span-level (telemetry) trace. */
+struct SpanTraceMeta
+{
+    double clock_hz = sim::default_clock_hz;
+    unsigned ces_per_cluster = 0; //!< 0 = flat "CE n" track names
+};
+
+/**
+ * Write a telemetry timeline (span + flow events, as captured by
+ * obs::TimelineRecorder) as a Chrome/Perfetto trace_event document.
+ *
+ * Layout: one process per hardware layer — pid 0 holds a track per
+ * CE with category-coloured 'X' slices (slice name = the charged
+ * User/Os activity, cat = the TimeCat), pid 1 a track per global
+ * memory module, pids 2/3/4 a track per network stage-1 / stage-2 /
+ * return-path port. GM-request flows render as arrows ('s'/'t'/'f'
+ * events sharing the flow id) from the issuing CE through the ports
+ * and module slice back to the CE.
+ *
+ * @throws sim::SimError when meta.clock_hz is not positive.
+ */
+void writeSpanTrace(std::ostream &os,
+                    const std::vector<TelemetryEvent> &events,
+                    const SpanTraceMeta &meta = {});
 
 } // namespace cedar::obs
 

@@ -6,6 +6,7 @@
 
 #include "bench_json.hh"
 #include "hw/machine.hh"
+#include "os/xylem.hh"
 #include "sim/error.hh"
 
 namespace cedar::obs
@@ -15,17 +16,17 @@ namespace
 {
 
 ResourceMetrics
-snapshotServer(std::string name, ResourceClass cls,
-               const sim::FifoServer &srv, sim::Tick elapsed)
+snapshotStats(std::string name, ResourceClass cls,
+              const sim::ServerStats &st, sim::Tick elapsed)
 {
     ResourceMetrics r;
     r.name = std::move(name);
     r.cls = cls;
-    r.requests = srv.stats().requests();
-    r.waitTicks = srv.stats().waitTicks();
-    r.busyTicks = srv.stats().busyTicks();
-    r.utilization = srv.stats().utilization(elapsed);
-    r.meanWait = srv.stats().meanWait();
+    r.requests = st.requests();
+    r.waitTicks = st.waitTicks();
+    r.busyTicks = st.busyTicks();
+    r.utilization = st.utilization(elapsed);
+    r.meanWait = st.meanWait();
     return r;
 }
 
@@ -86,16 +87,37 @@ collectMetrics(const hw::Machine &m, sim::Tick elapsed)
 
     const auto &gmem = m.gmem();
     for (unsigned i = 0; i < gmem.map().numModules(); ++i) {
-        rep.resources.push_back(snapshotServer(
+        rep.resources.push_back(snapshotStats(
             "module." + std::to_string(i), ResourceClass::memory_module,
-            gmem.moduleServer(i), rep.elapsed));
+            gmem.moduleServer(i).stats(), rep.elapsed));
     }
     m.net().visitPorts(
         [&](const net::PortSite &s, const sim::FifoServer &srv) {
-            rep.resources.push_back(snapshotServer(
+            rep.resources.push_back(snapshotStats(
                 s.bankName + ".port" + std::to_string(s.portIdx),
-                classFromBank(s.bank), srv, rep.elapsed));
+                classFromBank(s.bank), srv.stats(), rep.elapsed));
         });
+
+    // The synchronisation hardware/kernel resources (satellite of the
+    // telemetry refactor): per-cluster concurrency buses and the
+    // Xylem kernel locks.
+    for (unsigned c = 0; c < m.numClusters(); ++c) {
+        rep.resources.push_back(snapshotStats(
+            "cbus.cluster" + std::to_string(c),
+            ResourceClass::concurrency_bus,
+            m.cluster(static_cast<sim::ClusterId>(c)).bus().stats(),
+            rep.elapsed));
+    }
+    rep.resources.push_back(
+        snapshotStats("klock.global", ResourceClass::kernel_lock,
+                      m.xylem().globalLock().stats(), rep.elapsed));
+    for (unsigned c = 0; c < m.numClusters(); ++c) {
+        rep.resources.push_back(snapshotStats(
+            "klock.cluster" + std::to_string(c),
+            ResourceClass::kernel_lock,
+            m.xylem().clusterLock(static_cast<sim::ClusterId>(c)).stats(),
+            rep.elapsed));
+    }
 
     for (const auto &r : rep.resources) {
         auto &c = rep.classes[static_cast<std::size_t>(r.cls)];
@@ -135,7 +157,10 @@ collectMetrics(const hw::Machine &m, sim::Tick elapsed)
 std::vector<ResourceMetrics>
 MetricsReport::topByWait(std::size_t k) const
 {
-    std::vector<ResourceMetrics> sorted = resources;
+    std::vector<ResourceMetrics> sorted;
+    for (const auto &r : resources)
+        if (isQueueingClass(r.cls))
+            sorted.push_back(r);
     std::sort(sorted.begin(), sorted.end(),
               [](const ResourceMetrics &a, const ResourceMetrics &b) {
                   if (a.waitTicks != b.waitTicks)

@@ -16,6 +16,8 @@ toString(ResourceClass cls)
       case ResourceClass::stage2_port: return "stage2_port";
       case ResourceClass::return_a_port: return "return_a_port";
       case ResourceClass::return_b_port: return "return_b_port";
+      case ResourceClass::concurrency_bus: return "concurrency_bus";
+      case ResourceClass::kernel_lock: return "kernel_lock";
       default: return "?";
     }
 }

@@ -32,12 +32,27 @@ enum class ResourceClass : unsigned
     stage1_port,   //!< per-cluster stage-1 crossbar output port
     stage2_port,   //!< stage-2 switch input port (fronts a group)
     return_a_port, //!< return path, per-group output port
-    return_b_port, //!< return path, per-cluster output port to CEs
+    return_b_port,   //!< return path, per-cluster output port to CEs
+    concurrency_bus, //!< per-cluster concurrency-control (sync) bus
+    kernel_lock,     //!< Xylem kernel lock (global or per-cluster)
     NUM
 };
 
 inline constexpr std::size_t num_resource_classes =
     static_cast<std::size_t>(ResourceClass::NUM);
+
+/**
+ * True for classes whose wait ticks measure queueing for a serially
+ * reusable resource. The concurrency bus is the exception: its
+ * "wait" is barrier skew (waiters wait for their *peers*, not for
+ * the bus), so hot-spot attribution skips it — a skewed barrier is a
+ * load-imbalance signal, not a contended resource.
+ */
+constexpr bool
+isQueueingClass(ResourceClass cls)
+{
+    return cls != ResourceClass::concurrency_bus;
+}
 
 const char *toString(ResourceClass cls);
 
@@ -46,9 +61,10 @@ const char *toString(ResourceClass cls);
 ResourceClass classFromBank(const char *bank);
 
 /**
- * One wait-latency histogram per resource class, fed by every
- * FifoServer of that class (sim::FifoServer::attachWaitHist). Owned
- * by hw::Machine so the samples accumulate over exactly one run.
+ * One wait-latency histogram per resource class, fed by the
+ * resource_wait events on the telemetry bus (obs::MetricsHub). The
+ * hub is owned by hw::Machine so the samples accumulate over exactly
+ * one run.
  *
  * Bucket width 8 ticks resolves waits around the module service
  * times (4/8 cycles); hot-spot pile-ups land in the overflow bucket

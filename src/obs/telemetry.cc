@@ -1,0 +1,35 @@
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+
+#include "obs/tracer.hh"
+
+namespace cedar::obs
+{
+
+void
+TelemetryBus::subscribe(TelemetrySink *s,
+                        std::initializer_list<EventKind> kinds)
+{
+    for (const auto k : kinds) {
+        auto &v = subs_[static_cast<std::size_t>(k)];
+        if (std::find(v.begin(), v.end(), s) == v.end())
+            v.push_back(s);
+    }
+}
+
+void
+TelemetryBus::unsubscribe(TelemetrySink *s)
+{
+    for (auto &v : subs_)
+        v.erase(std::remove(v.begin(), v.end(), s), v.end());
+}
+
+void
+Tracer::close(sim::Tick ct)
+{
+    closed_ = true;
+    closedAt_ = ct;
+}
+
+} // namespace cedar::obs

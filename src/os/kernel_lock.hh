@@ -18,6 +18,7 @@
 
 #include <string>
 
+#include "obs/tracer.hh"
 #include "sim/fifo_server.hh"
 #include "sim/types.hh"
 
@@ -37,10 +38,25 @@ class KernelLock
   public:
     explicit KernelLock(std::string name) : name_(std::move(name)) {}
 
+    /** Attach the telemetry tracer; @p idx identifies this lock in
+     *  the kernel_lock resource class (0 = global, 1+c = cluster c). */
+    void
+    setTracer(obs::Tracer *t, int idx)
+    {
+        tracer_ = t;
+        idx_ = idx;
+    }
+
     /** Reserve the section: spin until free, hold for @p hold. */
     SectionTiming
     reserve(sim::Tick now, sim::Tick hold)
     {
+        if (tracer_) {
+            const sim::Tick free_at = server_.freeAt();
+            tracer_->resourceWait(obs::ResourceClass::kernel_lock, idx_,
+                                  now,
+                                  free_at > now ? free_at - now : 0);
+        }
         const sim::Tick exit = server_.serve(now, hold);
         return SectionTiming{exit - hold - now, exit};
     }
@@ -51,6 +67,8 @@ class KernelLock
   private:
     std::string name_;
     sim::FifoServer server_;
+    obs::Tracer *tracer_ = nullptr;
+    int idx_ = 0;
 };
 
 } // namespace cedar::os

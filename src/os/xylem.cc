@@ -12,8 +12,14 @@ Xylem::Xylem(hw::Machine &m)
     : m_(m), globalLock_("global"),
       rng_(m.config().seed ^ 0xbadc0ffee0ddf00dULL)
 {
-    for (unsigned c = 0; c < m.numClusters(); ++c)
+    // Lock 0 of the kernel_lock resource class is the global lock,
+    // 1 + c is cluster c's memory lock.
+    globalLock_.setTracer(&m.tracer(), 0);
+    for (unsigned c = 0; c < m.numClusters(); ++c) {
         clusterLocks_.emplace_back("cluster" + std::to_string(c));
+        clusterLocks_.back().setTracer(&m.tracer(),
+                                       static_cast<int>(1 + c));
+    }
 }
 
 void
@@ -143,10 +149,17 @@ Xylem::handleFault(hw::Ce &ce, PageId page, Touch kind, sim::Cont k)
         const auto sect =
             clusterLocks_[ce.cluster()].reserve(m_.now(),
                                                 costs.crit_clus_cost);
-        if (sect.spin > 0)
+        if (sect.spin > 0) {
             m_.acct().addKernelSpin(ce.id(), sect.spin);
+            m_.tracer().spinSpan(static_cast<int>(ce.id()), m_.now(),
+                                 sect.spin);
+        }
         m_.acct().addOs(ce.id(), TimeCat::system, OsAct::crit_clus,
                         costs.crit_clus_cost);
+        m_.tracer().osSpan(static_cast<int>(ce.id()), TimeCat::system,
+                           OsAct::crit_clus,
+                           sect.exit - costs.crit_clus_cost,
+                           costs.crit_clus_cost);
         pt_.faultWindow(page, sect.exit + costs.pgflt_seq_cost);
         ce.occupyUntil(sect.exit, [this, &ce, costs,
                                    finish = std::move(finish)] {
@@ -200,10 +213,17 @@ Xylem::clusterSyscall(hw::Ce &ce, sim::Cont k)
     const auto &costs = m_.costs();
     const auto sect = clusterLocks_[ce.cluster()].reserve(
         m_.now(), costs.crit_clus_cost);
-    if (sect.spin > 0)
+    if (sect.spin > 0) {
         m_.acct().addKernelSpin(ce.id(), sect.spin);
+        m_.tracer().spinSpan(static_cast<int>(ce.id()), m_.now(),
+                             sect.spin);
+    }
     m_.acct().addOs(ce.id(), TimeCat::system, OsAct::crit_clus,
                     costs.crit_clus_cost);
+    m_.tracer().osSpan(static_cast<int>(ce.id()), TimeCat::system,
+                       OsAct::crit_clus,
+                       sect.exit - costs.crit_clus_cost,
+                       costs.crit_clus_cost);
     ce.occupyUntil(sect.exit, [this, &ce, costs, k = std::move(k)] {
         ce.osCompute(costs.syscall_clus_cost, TimeCat::system,
                      OsAct::syscall_clus, k);
@@ -216,10 +236,17 @@ Xylem::globalSyscall(hw::Ce &ce, sim::Cont k)
     ++stats_.globalSyscalls;
     const auto &costs = m_.costs();
     const auto sect = globalLock_.reserve(m_.now(), costs.crit_glbl_cost);
-    if (sect.spin > 0)
+    if (sect.spin > 0) {
         m_.acct().addKernelSpin(ce.id(), sect.spin);
+        m_.tracer().spinSpan(static_cast<int>(ce.id()), m_.now(),
+                             sect.spin);
+    }
     m_.acct().addOs(ce.id(), TimeCat::system, OsAct::crit_glbl,
                     costs.crit_glbl_cost);
+    m_.tracer().osSpan(static_cast<int>(ce.id()), TimeCat::system,
+                       OsAct::crit_glbl,
+                       sect.exit - costs.crit_glbl_cost,
+                       costs.crit_glbl_cost);
     ce.occupyUntil(sect.exit, [this, &ce, costs, k = std::move(k)] {
         ce.osCompute(costs.syscall_glbl_cost, TimeCat::system,
                      OsAct::syscall_glbl, k);

@@ -98,6 +98,13 @@ class Xylem
     PageTable &pageTable() { return pt_; }
     const XylemStats &stats() const { return stats_; }
 
+    /** Kernel-lock contention statistics (metrics layer). */
+    const KernelLock &globalLock() const { return globalLock_; }
+    const KernelLock &clusterLock(sim::ClusterId c) const
+    {
+        return clusterLocks_.at(c);
+    }
+
   private:
     void daemonRun(sim::ClusterId c);
     void scheduleDaemon(sim::ClusterId c);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "os/xylem.hh"
@@ -79,14 +80,19 @@ Runtime::anyCeParked()
 }
 
 sim::RunStatus
-Runtime::run(std::uint64_t event_limit, std::uint64_t watchdog_events)
+Runtime::run(std::uint64_t event_limit, std::uint64_t watchdog_events,
+             const ProgressFn &progress)
 {
+    using clock = std::chrono::steady_clock;
+    constexpr auto heartbeat = std::chrono::milliseconds(500);
+
     m_.xylem().startDaemons();
     m_.statfx().start();
     m_.eq().scheduleIn(0, [this] { startProgram(); });
 
     sim::Watchdog wd(watchdog_events);
     const std::uint64_t base = m_.eq().executed();
+    auto lastBeat = clock::now();
     status_ = sim::RunStatus::Completed;
     for (;;) {
         const std::uint64_t done = m_.eq().executed() - base;
@@ -100,6 +106,19 @@ Runtime::run(std::uint64_t event_limit, std::uint64_t watchdog_events)
             std::min({std::max<std::uint64_t>(wd.stallEvents() / 4, 1024),
                       std::uint64_t(65536), event_limit - done});
         const bool drained = m_.eq().run(slice);
+        if (progress) {
+            const auto t = clock::now();
+            if (t - lastBeat >= heartbeat) {
+                lastBeat = t;
+                RunProgress p;
+                p.now = m_.eq().now();
+                p.events = m_.eq().executed() - base;
+                p.stepsRun = stats_.stepsRun;
+                p.totalSteps = app_.steps;
+                p.totalWaitTicks = m_.metricsHub().totalWaitTicks();
+                progress(p);
+            }
+        }
         if (anyCeParked()) {
             // A CE is hung on a dead memory module with no timeout
             // path; the program can never finish, even though OS
@@ -124,6 +143,7 @@ Runtime::run(std::uint64_t event_limit, std::uint64_t watchdog_events)
              m_.faultLog().degraded() > 0)
         status_ = sim::RunStatus::Faulted;
     m_.acct().finalize(ct_);
+    m_.tracer().close(ct_);
     return status_;
 }
 

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -71,6 +72,23 @@ struct RuntimeStats
     std::uint64_t stepsRun = 0;
 };
 
+/**
+ * A mid-run snapshot handed to the live progress callback: how far
+ * the program is (steps), how hard the machine is working (events,
+ * simulated time) and where the contention is accumulating so far.
+ */
+struct RunProgress
+{
+    sim::Tick now = 0;             //!< current simulated tick
+    std::uint64_t events = 0;      //!< events executed so far
+    std::uint64_t stepsRun = 0;    //!< application steps started
+    std::uint64_t totalSteps = 0;  //!< application steps overall
+    sim::Tick totalWaitTicks = 0;  //!< queueing wait accumulated
+};
+
+/** Invoked from run() at a wall-clock throttled cadence. */
+using ProgressFn = std::function<void(const RunProgress &)>;
+
 /** Executes one application on one machine, start to finish. */
 class Runtime
 {
@@ -97,10 +115,13 @@ class Runtime
      *
      * @param event_limit safety valve on total events executed.
      * @param watchdog_events livelock threshold (events at one tick).
+     * @param progress optional live heartbeat, invoked from the
+     *        slice loop at most about twice per wall-clock second.
      */
     sim::RunStatus
     run(std::uint64_t event_limit = 500'000'000ULL,
-        std::uint64_t watchdog_events = sim::Watchdog::default_stall_events);
+        std::uint64_t watchdog_events = sim::Watchdog::default_stall_events,
+        const ProgressFn &progress = {});
 
     /** How the last run() ended. */
     sim::RunStatus status() const { return status_; }

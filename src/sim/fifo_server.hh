@@ -59,8 +59,6 @@ class FifoServer
                 "fifo server: tick overflow (start + service wraps)");
         const Tick wait = start - arrival;
         stats_.record(wait, service);
-        if (waitHist_)
-            waitHist_->sample(wait);
         freeAt_ = start + service;
         return freeAt_;
     }
@@ -70,14 +68,6 @@ class FifoServer
 
     /** Cumulative queueing/busy statistics. */
     const ServerStats &stats() const { return stats_; }
-
-    /**
-     * Attach a wait-latency histogram: every subsequent request's
-     * queueing wait is also sampled into @p h (nullptr detaches).
-     * The observability layer aggregates one histogram per resource
-     * class; the histogram must outlive the server's use.
-     */
-    void attachWaitHist(Histogram *h) { waitHist_ = h; }
 
     void
     reset()
@@ -89,7 +79,6 @@ class FifoServer
   private:
     Tick freeAt_ = 0;
     ServerStats stats_;
-    Histogram *waitHist_ = nullptr;
 };
 
 } // namespace cedar::sim

@@ -12,6 +12,7 @@
 
 #include "hpm/statfx.hh"
 #include "hpm/trace.hh"
+#include "obs/telemetry.hh"
 #include "sim/error.hh"
 #include "sim/event_queue.hh"
 
@@ -20,6 +21,20 @@ namespace
 
 using namespace cedar;
 using hpm::EventId;
+
+/** Publish one ce_state edge, as the CEs do through obs::Tracer. */
+void
+publishEdge(obs::TelemetryBus &bus, sim::Tick when, int ce, int cluster,
+            bool active)
+{
+    obs::TelemetryEvent e;
+    e.kind = obs::EventKind::ce_state;
+    e.when = when;
+    e.ce = ce;
+    e.res = cluster;
+    e.flags = active ? obs::TelemetryEvent::flag_active : 0;
+    bus.publish(e);
+}
 
 TEST(Trace, RecordsEventIdTimestampAndProcessor)
 {
@@ -154,14 +169,16 @@ TEST(Trace, EveryEventHasAName)
 TEST(Statfx, AveragesActiveCounts)
 {
     sim::EventQueue eq;
-    // Cluster 0 reports 3 active CEs before t=10000, 1 after.
-    hpm::Statfx fx(eq, 2,
-                   [&eq](sim::ClusterId c) -> unsigned {
-                       if (c == 1)
-                           return 0;
-                       return eq.now() <= 10000 ? 3 : 1;
-                   },
-                   1000);
+    obs::TelemetryBus bus;
+    // Cluster 0 has 3 active CEs until t=10000 and 1 after; cluster 1
+    // stays idle throughout.
+    hpm::Statfx fx(eq, bus, 2, 1000);
+    for (int ce = 0; ce < 3; ++ce)
+        publishEdge(bus, 0, ce, 0, true);
+    eq.schedule(10001, [&bus] {
+        publishEdge(bus, 10001, 1, 0, false);
+        publishEdge(bus, 10001, 2, 0, false);
+    });
     fx.start();
     eq.runUntil(20000);
     fx.stop();
@@ -171,20 +188,69 @@ TEST(Statfx, AveragesActiveCounts)
     EXPECT_NEAR(fx.machineConcurrency(), fx.clusterConcurrency(0), 1e-9);
 }
 
+TEST(Statfx, TracksEdgesEventDriven)
+{
+    sim::EventQueue eq;
+    obs::TelemetryBus bus;
+    hpm::Statfx fx(eq, bus, 2, 100);
+    EXPECT_EQ(fx.activeNow(0), 0u);
+    publishEdge(bus, 0, 0, 0, true);
+    publishEdge(bus, 0, 1, 0, true);
+    publishEdge(bus, 0, 8, 1, true);
+    EXPECT_EQ(fx.activeNow(0), 2u);
+    EXPECT_EQ(fx.activeNow(1), 1u);
+    publishEdge(bus, 5, 1, 0, false);
+    EXPECT_EQ(fx.activeNow(0), 1u);
+    // Out-of-range cluster ids are dropped, not UB.
+    publishEdge(bus, 5, 99, 7, true);
+    EXPECT_EQ(fx.activeNow(0), 1u);
+    EXPECT_EQ(fx.activeNow(1), 1u);
+}
+
+TEST(Statfx, SamplePublishesConcurrencyOnBus)
+{
+    sim::EventQueue eq;
+    obs::TelemetryBus bus;
+    hpm::Statfx fx(eq, bus, 1, 100);
+
+    struct Sink : obs::TelemetrySink
+    {
+        std::vector<obs::TelemetryEvent> got;
+        void onTelemetry(const obs::TelemetryEvent &e) override
+        {
+            got.push_back(e);
+        }
+    } sink;
+    bus.subscribe(&sink, {obs::EventKind::sample});
+
+    publishEdge(bus, 0, 0, 0, true);
+    publishEdge(bus, 0, 1, 0, true);
+    fx.start();
+    eq.runUntil(350);
+    fx.stop();
+    eq.run();
+    ASSERT_GE(sink.got.size(), 3u);
+    EXPECT_EQ(sink.got[0].kind, obs::EventKind::sample);
+    EXPECT_EQ(sink.got[0].id, 2u);
+    EXPECT_EQ(sink.got[0].res, 0);
+    bus.unsubscribe(&sink);
+}
+
 TEST(Statfx, ZeroPeriodThrows)
 {
     // A zero period would reschedule sample() at the current tick
     // forever — a livelock the watchdog would abort the run for.
     sim::EventQueue eq;
-    EXPECT_THROW(
-        hpm::Statfx(eq, 1, [](sim::ClusterId) { return 1u; }, 0),
-        sim::SimError);
+    obs::TelemetryBus bus;
+    EXPECT_THROW(hpm::Statfx(eq, bus, 1, 0), sim::SimError);
 }
 
 TEST(Statfx, StartIsIdempotent)
 {
     sim::EventQueue eq;
-    hpm::Statfx fx(eq, 1, [](sim::ClusterId) { return 1u; }, 100);
+    obs::TelemetryBus bus;
+    hpm::Statfx fx(eq, bus, 1, 100);
+    publishEdge(bus, 0, 0, 0, true);
     fx.start();
     fx.start(); // must not chain a second sampling loop
     eq.scheduleIn(500, [&fx] { fx.start(); });
@@ -200,7 +266,9 @@ TEST(Statfx, StartIsIdempotent)
 TEST(Statfx, RestartAfterStopResumesWithoutDuplicates)
 {
     sim::EventQueue eq;
-    hpm::Statfx fx(eq, 1, [](sim::ClusterId) { return 1u; }, 100);
+    obs::TelemetryBus bus;
+    hpm::Statfx fx(eq, bus, 1, 100);
+    publishEdge(bus, 0, 0, 0, true);
     fx.start();
     eq.runUntil(500);
     fx.stop();
@@ -216,7 +284,9 @@ TEST(Statfx, RestartAfterStopResumesWithoutDuplicates)
 TEST(Statfx, StopsCleanly)
 {
     sim::EventQueue eq;
-    hpm::Statfx fx(eq, 1, [](sim::ClusterId) { return 1u; }, 100);
+    obs::TelemetryBus bus;
+    hpm::Statfx fx(eq, bus, 1, 100);
+    publishEdge(bus, 0, 0, 0, true);
     fx.start();
     eq.runUntil(1000);
     fx.stop();

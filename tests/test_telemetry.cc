@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Telemetry conservation properties: every paper point's per-CE
+ * category ledger must sum to the completion time, the span timeline
+ * must reproduce the ledger tick-for-tick, and capturing a timeline
+ * must not perturb the simulation (aggregates bit-identical with
+ * tracing on and off). Also exercises the reporter on a non-paper
+ * machine geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/perfect.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "hw/config.hh"
+#include "obs/telemetry.hh"
+
+namespace
+{
+
+using namespace cedar;
+
+constexpr std::size_t n_cats =
+    static_cast<std::size_t>(os::TimeCat::NUM);
+
+core::RunOptions
+quickOpts(bool timeline)
+{
+    core::RunOptions opts;
+    opts.scale = 0.02;
+    opts.collectTimeline = timeline;
+    return opts;
+}
+
+/** |per-CE category sum - ct| relative to ct, in percent. */
+double
+conservationErrorPct(const core::Report &rep)
+{
+    if (!rep.ct)
+        return 0.0;
+    return 100.0 * static_cast<double>(rep.maxConservationError) /
+           static_cast<double>(rep.ct);
+}
+
+// ----- conservation at every paper point -----
+
+class PaperPointConservation
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PaperPointConservation, LedgerSumsToCtAndSpansMatchLedger)
+{
+    const auto app = apps::perfectAppByName("FLO52");
+    const auto r =
+        core::runExperiment(app, GetParam(), quickOpts(true));
+    ASSERT_EQ(r.status, sim::RunStatus::Completed);
+    ASSERT_FALSE(r.timeline.empty());
+
+    const auto rep = core::buildReport(r);
+
+    // Every CE's categories account for the whole completion time.
+    // The only slack allowed is the accounting overshoot (operations
+    // in flight at finalize are charged at issue), which is tiny
+    // relative to CT.
+    ASSERT_EQ(rep.ces.size(), r.nprocs);
+    for (const auto &row : rep.ces) {
+        sim::Tick sum = 0;
+        for (std::size_t c = 0; c < n_cats; ++c)
+            sum += row.cat[c];
+        EXPECT_EQ(sum, row.sum);
+        EXPECT_GE(row.sum, r.ct) << "CE " << row.ce
+                                 << " lost ticks (idle underflow)";
+    }
+    EXPECT_LT(conservationErrorPct(rep), 0.1);
+
+    // Spans are emitted with the same durations as the ledger
+    // charges at the same call sites, so the cross-check is exact.
+    ASSERT_TRUE(rep.tracer.performed);
+    EXPECT_EQ(rep.tracer.maxMismatch, 0u);
+    EXPECT_EQ(rep.tracer.spanTicks, rep.tracer.acctBusyTicks);
+    EXPECT_GT(rep.tracer.spanTicks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperPoints, PaperPointConservation,
+                         ::testing::ValuesIn(
+                             hw::CedarConfig::paperProcCounts()));
+
+// ----- non-paper geometry -----
+
+TEST(Telemetry, NonPaperGeometryConservesAndCrossChecks)
+{
+    hw::CedarConfig cfg;
+    cfg.nClusters = 2;
+    cfg.cesPerCluster = 4;
+    ASSERT_FALSE(cfg.isPaperPoint());
+
+    const auto app = apps::perfectAppByName("ADM");
+    const auto r = core::runExperiment(app, cfg, quickOpts(true));
+    ASSERT_EQ(r.status, sim::RunStatus::Completed);
+
+    const auto rep = core::buildReport(r);
+    EXPECT_EQ(rep.nClusters, 2u);
+    EXPECT_EQ(rep.cesPerCluster, 4u);
+    ASSERT_EQ(rep.ces.size(), 8u);
+    EXPECT_EQ(rep.ces.back().cluster, 1u);
+    EXPECT_LT(conservationErrorPct(rep), 0.1);
+    ASSERT_TRUE(rep.tracer.performed);
+    EXPECT_EQ(rep.tracer.maxMismatch, 0u);
+}
+
+// ----- observation must not perturb the simulation -----
+
+TEST(Telemetry, TimelineCaptureLeavesAggregatesBitIdentical)
+{
+    const auto app = apps::perfectAppByName("MDG");
+    const auto off = core::runExperiment(app, 8, quickOpts(false));
+    const auto on = core::runExperiment(app, 8, quickOpts(true));
+
+    EXPECT_TRUE(off.timeline.empty());
+    EXPECT_FALSE(on.timeline.empty());
+
+    EXPECT_EQ(off.ct, on.ct);
+    EXPECT_EQ(off.status, on.status);
+    EXPECT_EQ(off.eventsExecuted, on.eventsExecuted);
+    EXPECT_EQ(off.peakPending, on.peakPending);
+    EXPECT_EQ(off.machineConcurrency, on.machineConcurrency);
+    ASSERT_EQ(off.ceAcct.size(), on.ceAcct.size());
+    for (std::size_t i = 0; i < off.ceAcct.size(); ++i)
+        for (std::size_t c = 0; c < n_cats; ++c)
+            EXPECT_EQ(off.ceAcct[i].cat[c], on.ceAcct[i].cat[c])
+                << "CE " << i << " cat " << c;
+    EXPECT_EQ(off.metrics.totalRequests, on.metrics.totalRequests);
+    EXPECT_EQ(off.metrics.totalWaitTicks, on.metrics.totalWaitTicks);
+    EXPECT_EQ(off.resourceWait, on.resourceWait);
+}
+
+// ----- report serializations -----
+
+TEST(Telemetry, ReportJsonCarriesSchemaAndConservation)
+{
+    const auto app = apps::perfectAppByName("FLO52");
+    const auto r = core::runExperiment(app, 4, quickOpts(true));
+    const auto rep = core::buildReport(r);
+
+    std::ostringstream json;
+    rep.writeJson(json);
+    EXPECT_NE(json.str().find("\"schema\": \"cedar-report-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"tracer_cross_check\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"max_mismatch_ticks\": 0"),
+              std::string::npos);
+
+    std::ostringstream md;
+    rep.writeMarkdown(md);
+    EXPECT_NE(md.str().find("paper Figure 3"), std::string::npos);
+    EXPECT_NE(md.str().find("paper Table 2"), std::string::npos);
+    EXPECT_NE(md.str().find("paper Figure 4"), std::string::npos);
+}
+
+} // namespace

@@ -13,10 +13,17 @@
  *   metrics  — run and print the per-resource contention report
  *              (hot spots, class summaries, module imbalance);
  *              --json writes the machine-readable document.
+ *   report   — run and emit the paper-figure decomposition document
+ *              (Figure 3/4 breakdowns, Table-2 OS detail, per-CE
+ *              conservation check); --json writes cedar-report-v1,
+ *              --md writes the markdown, --timeline adds the
+ *              tracer-vs-accounting cross-check.
  *   trace    — run with cedarhpm enabled and write the trace file;
  *              --chrome writes Chrome trace_event JSON instead (and
  *              `trace --chrome in.chpm out.json` converts an
- *              existing trace for chrome://tracing / Perfetto).
+ *              existing trace for chrome://tracing / Perfetto);
+ *              --spans writes the span-level telemetry trace (per-CE
+ *              category slices + GM-request flow arrows).
  *   batch    — execute every scenario file (*.scn) in a directory on
  *              the sweep thread pool, writing per-scenario summary
  *              and metrics JSON.
@@ -49,6 +56,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -62,6 +70,7 @@
 #include "core/experiment.hh"
 #include "core/parallel.hh"
 #include "core/profile.hh"
+#include "core/report.hh"
 #include "core/scenario.hh"
 #include "core/table.hh"
 #include "fault/fault.hh"
@@ -96,14 +105,21 @@ usage()
            "                     [run flags]\n"
            "  cedar_cli metrics  --scenario <file.scn> [--top K]\n"
            "                     [--json FILE]\n"
+           "  cedar_cli report   <app> <procs> [--json FILE] [--md FILE]\n"
+           "                     [--timeline] [run flags]\n"
+           "  cedar_cli report   --scenario <file.scn> [--json FILE]\n"
+           "                     [--md FILE] [--timeline]\n"
            "  cedar_cli trace    <app> <procs> <outfile> [--chrome]\n"
-           "                     [run flags]\n"
+           "                     [--spans] [run flags]\n"
            "  cedar_cli trace    --scenario <file.scn> <outfile>\n"
-           "                     [--chrome]\n"
+           "                     [--chrome] [--spans]\n"
            "  cedar_cli trace    --chrome <in.chpm> <out.json>\n"
            "  cedar_cli batch    <scenario-dir> [--jobs N] [--out DIR]\n"
            "  cedar_cli profile  <app> <procs>\n"
            "  cedar_cli apps\n"
+           "\nrun, sweep, report and batch accept --progress (live\n"
+           "heartbeat on stderr) and --quiet (suppress the heartbeat\n"
+           "and the human-readable report)\n"
            "\napps: FLO52 ARC2D MDG OCEAN ADM\n"
            "procs: 1, 4, 8, 16 or 32 (arbitrary geometries: --scenario,\n"
            "see docs/SCENARIOS.md)\n"
@@ -154,8 +170,16 @@ struct Flags
     /** metrics: hot spots to list / optional JSON output path. */
     unsigned top = 10;
     std::string jsonOut;
+    /** report: optional markdown output path. */
+    std::string mdOut;
+    /** report: collect the telemetry timeline (cross-check). */
+    bool timeline = false;
     /** batch: output directory for per-scenario JSON. */
     std::string outDir = ".";
+    /** Live progress heartbeat on stderr. */
+    bool progress = false;
+    /** Suppress the heartbeat and human-readable report output. */
+    bool quiet = false;
 };
 
 bool
@@ -192,8 +216,16 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
             f.top = static_cast<unsigned>(parseCount(a, value()));
         } else if (a == "--json") {
             f.jsonOut = value();
+        } else if (a == "--md") {
+            f.mdOut = value();
         } else if (a == "--out") {
             f.outDir = value();
+        } else if (a == "--timeline") {
+            f.timeline = true;
+        } else if (a == "--progress") {
+            f.progress = true;
+        } else if (a == "--quiet") {
+            f.quiet = true;
         } else if (a == "--prefetch") {
             f.prefetch = true;
         } else if (a == "--ctx-coop") {
@@ -206,6 +238,21 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
         }
     }
     return true;
+}
+
+/** Install the --progress heartbeat (stderr, wall-clock throttled by
+ *  the runtime) into @p opts when the flags ask for one. */
+void
+applyProgress(core::RunOptions &opts, const Flags &f,
+              const std::string &label)
+{
+    if (!f.progress || f.quiet)
+        return;
+    opts.progress = [label](const rtl::RunProgress &p) {
+        std::cerr << label << ": step " << p.stepsRun << "/"
+                  << p.totalSteps << "  t=" << p.now << "  events "
+                  << p.events << "  wait " << p.totalWaitTicks << "\n";
+    };
 }
 
 /** Apply the app-shaping flags (--fuse/--prefetch/--pickup-block). */
@@ -400,13 +447,20 @@ cmdRun(const std::vector<std::string> &args)
     // The 1-processor comparison baseline always runs undisturbed.
     core::RunOptions uniOpts = inv.flags.opts;
     uniOpts.faults.clear();
+    applyProgress(uniOpts, inv.flags, "run(1p baseline)");
     const auto uni =
         core::runExperiment(inv.app, uniConfigFor(inv.cfg), uniOpts);
+    core::RunOptions opts = inv.flags.opts;
+    applyProgress(opts, inv.flags, "run");
     const auto r = inv.cfg.numCes() == 1 && inv.flags.opts.faults.empty()
                        ? uni
-                       : core::runExperiment(inv.app, inv.cfg,
-                                             inv.flags.opts);
-    printRun(r, &uni);
+                       : core::runExperiment(inv.app, inv.cfg, opts);
+    if (!inv.flags.quiet)
+        printRun(r, &uni);
+    else
+        std::cout << r.app << " " << r.nprocs << "p: CT "
+                  << core::Table::num(r.seconds(), 3) << " s ("
+                  << sim::toString(r.status) << ")\n";
     return runExitCode(r);
 }
 
@@ -475,7 +529,20 @@ cmdSweep(const std::vector<std::string> &args)
         app = buildApp(args[2], f);
         configs = core::paperConfigs();
     }
-    const auto sweep = core::runSweep(app, f.opts, configs, f.jobs);
+    // Per-config completion heartbeat: runs land on worker threads,
+    // so the line is built under a mutex.
+    core::SweepResultFn onResult;
+    std::mutex progressMx;
+    if (f.progress && !f.quiet) {
+        onResult = [&](std::size_t i, const core::RunResult &r) {
+            std::lock_guard<std::mutex> lk(progressMx);
+            std::cerr << "sweep: " << configs[i].label() << " done, CT "
+                      << core::Table::num(r.seconds(), 3) << " s ("
+                      << sim::toString(r.status) << ")\n";
+        };
+    }
+    const auto sweep =
+        core::runSweep(app, f.opts, configs, f.jobs, onResult);
 
     core::Table t({"config", "CT (s)", "speedup", "concurr", "OS %",
                    "main ovh %", "Ov_cont %"});
@@ -626,6 +693,46 @@ cmdMetrics(const std::vector<std::string> &args)
     return runExitCode(r);
 }
 
+/**
+ * The paper-figure decomposition report: Figure-3 and Figure-4
+ * breakdowns plus the Table-2 OS detail for one run, with the
+ * accounting conservation check — and, with --timeline, the
+ * tracer-vs-accounting cross-check. Markdown on stdout; --json and
+ * --md write the artifacts (schema cedar-report-v1).
+ */
+int
+cmdReport(const std::vector<std::string> &args)
+{
+    Invocation inv;
+    if (!parseInvocation(args, 2, 4, inv))
+        return usage();
+    const Flags &f = inv.flags;
+    core::RunOptions opts = f.opts;
+    opts.collectTimeline = f.timeline;
+    applyProgress(opts, f, "report");
+    const auto r = core::runExperiment(inv.app, inv.cfg, opts);
+    const auto rep = core::buildReport(r);
+
+    if (!f.quiet)
+        rep.writeMarkdown(std::cout);
+    if (!f.jsonOut.empty()) {
+        std::ofstream out(f.jsonOut);
+        if (!out)
+            throw sim::SimError("report: cannot write " + f.jsonOut);
+        rep.writeJson(out);
+        out << "\n";
+        std::cout << "wrote report JSON to " << f.jsonOut << "\n";
+    }
+    if (!f.mdOut.empty()) {
+        std::ofstream out(f.mdOut);
+        if (!out)
+            throw sim::SimError("report: cannot write " + f.mdOut);
+        rep.writeMarkdown(out);
+        std::cout << "wrote report markdown to " << f.mdOut << "\n";
+    }
+    return runExitCode(r);
+}
+
 int
 cmdTrace(const std::vector<std::string> &args)
 {
@@ -643,18 +750,41 @@ cmdTrace(const std::vector<std::string> &args)
                            std::string("--chrome")),
                rest.end());
     const bool chrome = rest.size() != args.size();
+    const std::size_t before_spans = rest.size();
+    rest.erase(std::remove(rest.begin() + 5, rest.end(),
+                           std::string("--spans")),
+               rest.end());
+    const bool spans = rest.size() != before_spans;
     Invocation inv;
     if (!parseInvocation(rest, 2, 5, inv))
         return usage();
     core::RunOptions opts = inv.flags.opts;
-    opts.collectTrace = true;
+    opts.collectTrace = !spans;
+    opts.collectTimeline = spans;
     const auto r = core::runExperiment(inv.app, inv.cfg, opts);
+
+    if (spans) {
+        // The span-level (telemetry) trace: per-CE category slices
+        // plus GM-request flow arrows, one track group per layer.
+        std::ofstream out(args[4]);
+        if (!out)
+            throw sim::SimError("trace: cannot write " + args[4]);
+        obs::SpanTraceMeta meta;
+        meta.clock_hz = r.clockHz;
+        meta.ces_per_cluster = r.cesPerCluster;
+        obs::writeSpanTrace(out, r.timeline, meta);
+        std::cout << "wrote " << r.timeline.size()
+                  << " telemetry events as Chrome span trace JSON to "
+                  << args[4] << "\n";
+        return 0;
+    }
 
     if (chrome) {
         std::ofstream out(args[4]);
         if (!out)
             throw sim::SimError("trace: cannot write " + args[4]);
-        obs::writeChromeTrace(out, r.trace, r.clockHz);
+        obs::writeChromeTrace(out, r.trace, r.clockHz,
+                              r.cesPerCluster);
         std::cout << "wrote " << r.trace.size()
                   << " records as Chrome trace JSON to " << args[4]
                   << "\n";
@@ -761,11 +891,20 @@ cmdBatch(const std::vector<std::string> &args)
         std::string error;
     };
     std::vector<Outcome> out(specs.size());
+    std::mutex progressMx;
     core::parallelFor(specs.size(), f.jobs, [&](std::size_t i) {
         try {
             out[i].result = core::runScenario(specs[i]);
         } catch (const std::exception &e) {
             out[i].error = e.what();
+        }
+        if (f.progress && !f.quiet) {
+            std::lock_guard<std::mutex> lk(progressMx);
+            std::cerr << "batch: " << specs[i].name << " "
+                      << (out[i].error.empty()
+                              ? sim::toString(out[i].result.status)
+                              : "error")
+                      << "\n";
         }
     });
 
@@ -879,6 +1018,8 @@ main(int argc, char **argv)
             return cmdFaults(args);
         if (args[1] == "metrics")
             return cmdMetrics(args);
+        if (args[1] == "report")
+            return cmdReport(args);
         if (args[1] == "trace")
             return cmdTrace(args);
         if (args[1] == "batch")
