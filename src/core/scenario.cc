@@ -6,6 +6,7 @@
 
 #include "apps/parser.hh"
 #include "apps/perfect.hh"
+#include "core/study.hh"
 #include "fault/fault.hh"
 #include "sim/error.hh"
 
@@ -521,6 +522,18 @@ formatScenario(const ScenarioSpec &spec)
            << apps::formatWorkload(spec.resolveApp());
     }
     return os.str();
+}
+
+std::uint64_t
+canonicalHashValue(const ScenarioSpec &spec)
+{
+    return fnv1a64(formatScenario(spec));
+}
+
+std::string
+canonicalHash(const ScenarioSpec &spec)
+{
+    return hashHex(canonicalHashValue(spec));
 }
 
 RunResult

@@ -39,6 +39,7 @@
 #ifndef CEDAR_CORE_SCENARIO_HH
 #define CEDAR_CORE_SCENARIO_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -110,6 +111,21 @@ ScenarioSpec parseScenarioFile(const std::string &path);
  * output is self-contained.
  */
 std::string formatScenario(const ScenarioSpec &spec);
+
+/**
+ * Canonical content hash of a scenario: FNV-1a 64 over the
+ * formatScenario serialisation. Because formatScenario is a golden
+ * round-trip (and inlines file-loaded workloads), two specs hash
+ * equal exactly when they describe the same run — regardless of the
+ * file they came from, comment/whitespace differences, or key
+ * order. The study engine (core/study.hh) uses it as the
+ * content-addressed result-cache key and the --shard partitioning
+ * key.
+ */
+std::uint64_t canonicalHashValue(const ScenarioSpec &spec);
+
+/** canonicalHashValue as a fixed-width 16-digit lower-hex string. */
+std::string canonicalHash(const ScenarioSpec &spec);
 
 /** Validate and execute the scenario end to end. */
 RunResult runScenario(const ScenarioSpec &spec);

@@ -47,18 +47,24 @@ constexpr char file_magic[8] = {'c', 'h', 'p', 'm', '0', '0', '0', '1'};
 } // namespace
 
 void
+Trace::write(std::ostream &os) const
+{
+    os.write(file_magic, sizeof(file_magic));
+    const std::uint64_t n = buf_.size();
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    os.write(reinterpret_cast<const char *>(buf_.data()),
+             static_cast<std::streamsize>(n * sizeof(Record)));
+    if (!os)
+        throw std::runtime_error("Trace::write: write failed");
+}
+
+void
 Trace::writeFile(const std::string &path) const
 {
     std::ofstream f(path, std::ios::binary);
     if (!f)
         throw std::runtime_error("Trace::writeFile: cannot open " + path);
-    f.write(file_magic, sizeof(file_magic));
-    const std::uint64_t n = buf_.size();
-    f.write(reinterpret_cast<const char *>(&n), sizeof(n));
-    f.write(reinterpret_cast<const char *>(buf_.data()),
-            static_cast<std::streamsize>(n * sizeof(Record)));
-    if (!f)
-        throw std::runtime_error("Trace::writeFile: write failed");
+    write(f);
 }
 
 std::vector<Record>

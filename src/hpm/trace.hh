@@ -133,6 +133,11 @@ class Trace
         dropped_ = 0;
     }
 
+    /** Off-load the buffer (binary, versioned header) to a stream
+     *  opened in binary mode — lets callers choose the file-write
+     *  discipline (e.g. core::atomicWriteFile). */
+    void write(std::ostream &os) const;
+
     /** Off-load the buffer to a file (binary, versioned header). */
     void writeFile(const std::string &path) const;
 

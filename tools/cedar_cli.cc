@@ -25,8 +25,14 @@
  *              --spans writes the span-level telemetry trace (per-CE
  *              category slices + GM-request flow arrows).
  *   batch    — execute every scenario file (*.scn) in a directory on
- *              the sweep thread pool, writing per-scenario summary
- *              and metrics JSON.
+ *              the crash-safe study engine (core/study.hh): a
+ *              journaled manifest (--resume), a content-addressed
+ *              result cache, per-scenario fault isolation with
+ *              --retries, deterministic --shard i/N partitioning and
+ *              atomic artifact writes.
+ *   study    — expand one base scenario into a parameter grid
+ *              (--axis section.key=v1,v2,...) and run it on the same
+ *              engine; --list prints the grid without running.
  *   apps     — list the built-in application models.
  *
  * run, sweep, metrics and trace all accept `--scenario FILE` in
@@ -49,6 +55,10 @@
  *   cedar_cli trace OCEAN 16 /tmp/ocean.json --chrome
  *   cedar_cli trace --chrome /tmp/ocean.chpm /tmp/ocean.json
  *   cedar_cli batch examples/scenarios --out /tmp/scn-results
+ *   cedar_cli batch examples/scenarios --out /tmp/r --resume --retries 1
+ *   cedar_cli batch examples/scenarios --out /tmp/r --shard 0/2
+ *   cedar_cli study base.scn --axis machine.procs=4,8,16 \
+ *             --axis run.scale=0.1,0.5 --out /tmp/grid
  */
 
 #include <algorithm>
@@ -57,6 +67,7 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -72,6 +83,7 @@
 #include "core/profile.hh"
 #include "core/report.hh"
 #include "core/scenario.hh"
+#include "core/study.hh"
 #include "core/table.hh"
 #include "fault/fault.hh"
 #include "hpm/trace.hh"
@@ -115,6 +127,10 @@ usage()
            "                     [--chrome] [--spans]\n"
            "  cedar_cli trace    --chrome <in.chpm> <out.json>\n"
            "  cedar_cli batch    <scenario-dir> [--jobs N] [--out DIR]\n"
+           "                     [--resume] [--retries N] [--shard i/N]\n"
+           "                     [--cache DIR] [--watchdog-events N]\n"
+           "  cedar_cli study    <base.scn> --axis sec.key=v1,v2,...\n"
+           "                     [--axis ...] [--list] [batch flags]\n"
            "  cedar_cli profile  <app> <procs>\n"
            "  cedar_cli apps\n"
            "\nrun, sweep, report and batch accept --progress (live\n"
@@ -176,6 +192,21 @@ struct Flags
     bool timeline = false;
     /** batch: output directory for per-scenario JSON. */
     std::string outDir = ".";
+    /** batch/study: result-cache directory (default <out>/cache). */
+    std::string cacheDir;
+    /** batch/study: extra attempts after a failed run. */
+    unsigned retries = 0;
+    /** batch/study: deterministic hash partition (--shard i/N). */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    /** batch/study: continue a prior manifest journal. */
+    bool resume = false;
+    /** study: print the expanded grid instead of running it. */
+    bool listOnly = false;
+    /** study: sweep axes (--axis section.key=v1,v2,...). */
+    std::vector<core::GridAxis> axes;
+    /** batch/study: study-wide watchdog budget (only when given). */
+    std::optional<std::uint64_t> watchdogOverride;
     /** Live progress heartbeat on stderr. */
     bool progress = false;
     /** Suppress the heartbeat and human-readable report output. */
@@ -203,6 +234,7 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
             f.opts.faults.push_back(fault::parseFaultSpec(value()));
         } else if (a == "--watchdog-events") {
             f.opts.watchdogEvents = parseCount(a, value());
+            f.watchdogOverride = f.opts.watchdogEvents;
         } else if (a == "--gm-timeout") {
             f.opts.gmTimeout = parseCount(a, value());
         } else if (a == "--gm-retries") {
@@ -220,6 +252,26 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
             f.mdOut = value();
         } else if (a == "--out") {
             f.outDir = value();
+        } else if (a == "--cache") {
+            f.cacheDir = value();
+        } else if (a == "--retries") {
+            f.retries = static_cast<unsigned>(parseCount(a, value()));
+        } else if (a == "--shard") {
+            const std::string &v = value();
+            const auto slash = v.find('/');
+            if (slash == std::string::npos)
+                throw std::invalid_argument(
+                    "--shard: expected i/N, got '" + v + "'");
+            f.shardIndex = static_cast<unsigned>(
+                parseCount(a, v.substr(0, slash)));
+            f.shardCount = static_cast<unsigned>(
+                parseCount(a, v.substr(slash + 1)));
+        } else if (a == "--resume") {
+            f.resume = true;
+        } else if (a == "--list") {
+            f.listOnly = true;
+        } else if (a == "--axis") {
+            f.axes.push_back(core::parseGridAxis(value()));
         } else if (a == "--timeline") {
             f.timeline = true;
         } else if (a == "--progress") {
@@ -684,10 +736,9 @@ cmdMetrics(const std::vector<std::string> &args)
     }
 
     if (!f.jsonOut.empty()) {
-        std::ofstream out(f.jsonOut);
-        if (!out)
-            throw sim::SimError("metrics: cannot write " + f.jsonOut);
-        r.metrics.writeJson(out);
+        core::atomicWriteFile(f.jsonOut, [&](std::ostream &out) {
+            r.metrics.writeJson(out);
+        });
         std::cout << "wrote metrics JSON to " << f.jsonOut << "\n";
     }
     return runExitCode(r);
@@ -716,18 +767,16 @@ cmdReport(const std::vector<std::string> &args)
     if (!f.quiet)
         rep.writeMarkdown(std::cout);
     if (!f.jsonOut.empty()) {
-        std::ofstream out(f.jsonOut);
-        if (!out)
-            throw sim::SimError("report: cannot write " + f.jsonOut);
-        rep.writeJson(out);
-        out << "\n";
+        core::atomicWriteFile(f.jsonOut, [&](std::ostream &out) {
+            rep.writeJson(out);
+            out << "\n";
+        });
         std::cout << "wrote report JSON to " << f.jsonOut << "\n";
     }
     if (!f.mdOut.empty()) {
-        std::ofstream out(f.mdOut);
-        if (!out)
-            throw sim::SimError("report: cannot write " + f.mdOut);
-        rep.writeMarkdown(out);
+        core::atomicWriteFile(f.mdOut, [&](std::ostream &out) {
+            rep.writeMarkdown(out);
+        });
         std::cout << "wrote report markdown to " << f.mdOut << "\n";
     }
     return runExitCode(r);
@@ -738,7 +787,10 @@ cmdTrace(const std::vector<std::string> &args)
 {
     // Converter form: trace --chrome <in.chpm> <out.json>.
     if (args.size() == 5 && args[2] == "--chrome") {
-        obs::convertTraceFile(args[3], args[4]);
+        const auto recs = hpm::Trace::readFile(args[3]);
+        core::atomicWriteFile(args[4], [&](std::ostream &out) {
+            obs::writeChromeTrace(out, recs);
+        });
         std::cout << "wrote Chrome trace JSON to " << args[4] << "\n";
         return 0;
     }
@@ -766,13 +818,12 @@ cmdTrace(const std::vector<std::string> &args)
     if (spans) {
         // The span-level (telemetry) trace: per-CE category slices
         // plus GM-request flow arrows, one track group per layer.
-        std::ofstream out(args[4]);
-        if (!out)
-            throw sim::SimError("trace: cannot write " + args[4]);
         obs::SpanTraceMeta meta;
         meta.clock_hz = r.clockHz;
         meta.ces_per_cluster = r.cesPerCluster;
-        obs::writeSpanTrace(out, r.timeline, meta);
+        core::atomicWriteFile(args[4], [&](std::ostream &out) {
+            obs::writeSpanTrace(out, r.timeline, meta);
+        });
         std::cout << "wrote " << r.timeline.size()
                   << " telemetry events as Chrome span trace JSON to "
                   << args[4] << "\n";
@@ -780,11 +831,10 @@ cmdTrace(const std::vector<std::string> &args)
     }
 
     if (chrome) {
-        std::ofstream out(args[4]);
-        if (!out)
-            throw sim::SimError("trace: cannot write " + args[4]);
-        obs::writeChromeTrace(out, r.trace, r.clockHz,
-                              r.cesPerCluster);
+        core::atomicWriteFile(args[4], [&](std::ostream &out) {
+            obs::writeChromeTrace(out, r.trace, r.clockHz,
+                                  r.cesPerCluster);
+        });
         std::cout << "wrote " << r.trace.size()
                   << " records as Chrome trace JSON to " << args[4]
                   << "\n";
@@ -794,64 +844,82 @@ cmdTrace(const std::vector<std::string> &args)
     hpm::Trace t;
     for (const auto &rec : r.trace)
         t.post(rec.when, rec.ce, rec.id(), rec.arg);
-    t.writeFile(args[4]);
+    core::atomicWriteFile(args[4],
+                          [&](std::ostream &out) { t.write(out); });
     std::cout << "wrote " << r.trace.size() << " records to " << args[4]
               << "\n";
     return 0;
 }
 
-/** Write the one-scenario summary document (cedar-scenario-v1). */
-void
-writeScenarioSummary(std::ostream &os, const core::ScenarioSpec &spec,
-                     const std::string &source,
-                     const core::RunResult &r)
+/**
+ * Shared batch/study driver: run the entries on the crash-safe
+ * study engine (core/study.hh) and print the outcome table. The
+ * engine journals every state transition to <out>/manifest.jsonl,
+ * serves cache hits from the content-addressed result cache, and
+ * isolates per-scenario failures; this wrapper only renders.
+ */
+int
+runStudyCli(const char *label, const std::vector<core::StudyEntry> &entries,
+            const std::string &from, const Flags &f)
 {
-    tools::JsonWriter w(os);
-    w.beginObject();
-    w.field("schema", "cedar-scenario-v1");
-    w.field("scenario", spec.name);
-    w.field("source", source);
-    w.field("app", r.app);
-    w.key("machine").beginObject();
-    w.field("label", spec.config.label());
-    w.field("clusters", spec.config.nClusters);
-    w.field("ces_per_cluster", spec.config.cesPerCluster);
-    w.field("nprocs", spec.config.numCes());
-    w.field("modules", spec.config.nModules);
-    w.field("group_size", spec.config.groupSize);
-    w.field("clock_hz", spec.config.clockHz);
-    w.field("seed", spec.options.seed);
-    w.endObject();
-    w.key("run").beginObject();
-    w.field("scale", spec.options.scale);
-    w.field("status", sim::toString(r.status));
-    w.field("ct_ticks", std::uint64_t(r.ct));
-    w.field("seconds", r.seconds());
-    w.field("concurrency", r.machineConcurrency);
-    w.field("events_executed", std::uint64_t(r.eventsExecuted));
-    w.field("peak_pending", std::uint64_t(r.peakPending));
-    w.field("global_words", r.globalWords);
-    w.field("faults_injected", r.faultsInjected);
-    w.field("accesses_degraded", r.accessesDegraded);
-    w.field("parked_ces", r.parkedCes);
-    w.endObject();
-    w.key("contention").beginObject();
-    w.field("resource_wait_ticks", std::uint64_t(r.resourceWait));
-    w.field("ce_queue_stall_ticks", std::uint64_t(r.ceQueueStall));
-    w.field("ground_truth_pct", core::groundTruthContentionPct(r));
-    w.field("module_gini", r.metrics.moduleGini);
-    w.endObject();
-    w.endObject();
-    os << "\n";
+    core::StudyOptions opts;
+    opts.outDir = f.outDir;
+    opts.cacheDir = f.cacheDir;
+    opts.jobs = f.jobs;
+    opts.retries = f.retries;
+    opts.shardIndex = f.shardIndex;
+    opts.shardCount = f.shardCount;
+    opts.resume = f.resume;
+    opts.watchdogEvents = f.watchdogOverride;
+
+    std::mutex progressMx;
+    if (f.progress && !f.quiet) {
+        opts.onScenario = [&](const core::StudyEntry &e,
+                              core::StudyState s,
+                              const std::string &detail) {
+            std::lock_guard<std::mutex> lk(progressMx);
+            std::cerr << label << ": " << e.name << " "
+                      << core::toString(s)
+                      << (detail.empty() ? "" : " (" + detail + ")")
+                      << "\n";
+        };
+    }
+
+    const auto rep = core::runStudy(entries, opts);
+
+    core::Table t({"scenario", "state", "machine", "app", "status",
+                   "CT (s)", "concurr"});
+    for (const auto &row : rep.rows) {
+        if (row.state == core::StudyState::skipped)
+            continue;
+        const bool ok = row.state != core::StudyState::failed;
+        t.addRow({row.name, core::toString(row.state),
+                  ok ? row.machine : "-", ok ? row.app : "-",
+                  row.status,
+                  ok ? core::Table::num(row.seconds, 3) : "-",
+                  ok ? core::Table::num(row.concurrency, 2) : "-"});
+        if (!ok)
+            std::cerr << label << ": " << row.source << ": "
+                      << row.error << "\n";
+    }
+
+    if (!f.quiet) {
+        std::cout << label << ": " << entries.size()
+                  << " scenario(s) from " << from << " — " << rep.ran
+                  << " run, " << rep.cached << " cached, "
+                  << rep.resumed << " resumed, " << rep.failed
+                  << " failed";
+        if (f.shardCount > 1)
+            std::cout << ", " << rep.skipped << " other-shard (shard "
+                      << f.shardIndex << "/" << f.shardCount << ")";
+        std::cout << "; artifacts in " << f.outDir << "\n\n";
+        t.print(std::cout);
+        if (rep.failed)
+            std::cout << "\n" << rep.failed << " scenario(s) failed\n";
+    }
+    return rep.exitCode();
 }
 
-/**
- * Execute every scenario file (*.scn) in a directory on the sweep
- * thread pool. Each scenario leaves two artifacts in --out:
- * <name>.json (summary, schema cedar-scenario-v1) and
- * <name>.metrics.json (the per-resource contention document). A
- * scenario that fails to run is reported and does not stop the rest.
- */
 int
 cmdBatch(const std::vector<std::string> &args)
 {
@@ -860,102 +928,43 @@ cmdBatch(const std::vector<std::string> &args)
     Flags f;
     if (!parseFlags(args, 3, f))
         return usage();
+    // Directory problems (missing, empty, duplicate names) are
+    // study-level ConfigErrors; a single malformed .scn is not — it
+    // becomes a failed manifest entry while its siblings run.
+    const auto entries = core::loadScenarioDir(args[2]);
+    return runStudyCli("batch", entries, args[2], f);
+}
 
-    namespace fs = std::filesystem;
-    if (!fs::is_directory(args[2])) {
-        std::cerr << "batch: not a directory: " << args[2] << "\n";
-        return 2;
+int
+cmdStudy(const std::vector<std::string> &args)
+{
+    if (args.size() < 3 || args[2][0] == '-')
+        return usage();
+    Flags f;
+    if (!parseFlags(args, 3, f))
+        return usage();
+    const auto entries = core::expandScenarioGrid(args[2], f.axes);
+
+    if (f.listOnly) {
+        core::Table t({"scenario", "hash", "shard", "source"});
+        for (const auto &e : entries)
+            t.addRow({e.name,
+                      e.parseError.empty() ? e.hash : "(invalid)",
+                      std::to_string(e.hashValue % f.shardCount),
+                      e.source});
+        std::cout << entries.size() << " grid point(s) from " << args[2]
+                  << "\n\n";
+        t.print(std::cout);
+        int bad = 0;
+        for (const auto &e : entries)
+            if (!e.parseError.empty()) {
+                ++bad;
+                std::cerr << "study: " << e.name << ": " << e.parseError
+                          << "\n";
+            }
+        return bad ? 1 : 0;
     }
-    std::vector<fs::path> files;
-    for (const auto &e : fs::directory_iterator(args[2]))
-        if (e.is_regular_file() && e.path().extension() == ".scn")
-            files.push_back(e.path());
-    std::sort(files.begin(), files.end());
-    if (files.empty()) {
-        std::cerr << "batch: no *.scn files in " << args[2] << "\n";
-        return 2;
-    }
-
-    // Parse everything up front: a malformed scenario aborts the
-    // batch before any simulation time is spent.
-    std::vector<core::ScenarioSpec> specs;
-    specs.reserve(files.size());
-    for (const auto &p : files)
-        specs.push_back(core::parseScenarioFile(p.string()));
-
-    fs::create_directories(f.outDir);
-
-    struct Outcome
-    {
-        core::RunResult result;
-        std::string error;
-    };
-    std::vector<Outcome> out(specs.size());
-    std::mutex progressMx;
-    core::parallelFor(specs.size(), f.jobs, [&](std::size_t i) {
-        try {
-            out[i].result = core::runScenario(specs[i]);
-        } catch (const std::exception &e) {
-            out[i].error = e.what();
-        }
-        if (f.progress && !f.quiet) {
-            std::lock_guard<std::mutex> lk(progressMx);
-            std::cerr << "batch: " << specs[i].name << " "
-                      << (out[i].error.empty()
-                              ? sim::toString(out[i].result.status)
-                              : "error")
-                      << "\n";
-        }
-    });
-
-    core::Table t({"scenario", "machine", "app", "status", "CT (s)",
-                   "concurr"});
-    unsigned failed = 0;
-    int exit_code = 0;
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        const auto &spec = specs[i];
-        if (!out[i].error.empty()) {
-            ++failed;
-            exit_code = 1;
-            t.addRow({spec.name, spec.config.label(),
-                      spec.appName.empty() ? "(inline)" : spec.appName,
-                      "error", "-", "-"});
-            std::cerr << "batch: " << files[i].string() << ": "
-                      << out[i].error << "\n";
-            continue;
-        }
-        const auto &r = out[i].result;
-        const fs::path summary =
-            fs::path(f.outDir) / (spec.name + ".json");
-        const fs::path metrics =
-            fs::path(f.outDir) / (spec.name + ".metrics.json");
-        {
-            std::ofstream os(summary);
-            if (!os)
-                throw sim::SimError("batch: cannot write " +
-                                    summary.string());
-            writeScenarioSummary(os, spec, files[i].string(), r);
-        }
-        {
-            std::ofstream os(metrics);
-            if (!os)
-                throw sim::SimError("batch: cannot write " +
-                                    metrics.string());
-            r.metrics.writeJson(os);
-        }
-        if (runExitCode(r) != 0 && exit_code == 0)
-            exit_code = 3;
-        t.addRow({spec.name, spec.config.label(), r.app,
-                  sim::toString(r.status),
-                  core::Table::num(r.seconds(), 3),
-                  core::Table::num(r.machineConcurrency, 2)});
-    }
-    std::cout << "batch: " << specs.size() << " scenario(s) from "
-              << args[2] << ", artifacts in " << f.outDir << "\n\n";
-    t.print(std::cout);
-    if (failed)
-        std::cout << "\n" << failed << " scenario(s) failed\n";
-    return exit_code;
+    return runStudyCli("study", entries, args[2], f);
 }
 
 int
@@ -1024,6 +1033,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (args[1] == "batch")
             return cmdBatch(args);
+        if (args[1] == "study")
+            return cmdStudy(args);
         if (args[1] == "profile")
             return cmdProfile(args);
         if (args[1] == "apps")
