@@ -17,8 +17,11 @@
  * runExperiment call (inside its worker thread), so they are
  * meaningful at any --jobs; sweep_wall_s is the wall time of the
  * whole sweep and is where --jobs > 1 shows its speedup. --repeat
- * reruns each sweep and keeps the fastest wall time per config
- * (minimum-of-R is the standard noise filter for wall clocks).
+ * reruns each sweep; every reported wall time is the *median* over
+ * the repeats, and every pass/fail guard compares medians, never a
+ * single sample — this host's wall clocks vary by tens of percent
+ * run to run, which a lone sample (or even min-of-R on opposite
+ * sides of a ratio) turns into flaky verdicts.
  *
  * A dedicated tracing leg times one fixed configuration (FLO52 on
  * 8 processors) with the telemetry timeline disabled (no span/flow
@@ -26,10 +29,23 @@
  * every publish site on its no-sink fast path) and enabled (a
  * TimelineRecorder subscribed, every span and flow event
  * materialized). The harness asserts the disabled path stays within
- * 2% of the plain sweep measurement of the identical configuration —
- * the tracer is compiled in unconditionally, so a gate that stops
- * being free shows up here, while cross-PR slowdowns show up in the
- * committed events/sec trajectory.
+ * a noise-bounded margin of the plain sweep measurement of the
+ * identical configuration (median vs median, enforced only at
+ * --repeat >= 3) — the tracer is compiled in unconditionally, so a
+ * gate that stops being free shows up here, while cross-PR slowdowns
+ * show up in the committed events/sec trajectory. With a timeline subscriber the
+ * analytic fast path also disengages (it requires the MetricsHub to
+ * be the sole resource_wait listener), so the enabled overhead
+ * honestly includes losing that path.
+ *
+ * A fast-path leg times FLO52 and ADM on 8 processors with the
+ * analytic fast path on and off (`--no-fast-path` in the CLI). The
+ * published numbers are bit-identical either way (tests enforce
+ * that); this leg records the speedup and fails the run when the
+ * fast path is below 2x the slow path on FLO52 — the network-bound
+ * workload the optimisation targets. ADM is recorded but not
+ * guarded: it is event-machinery-bound, not network-bound, so its
+ * fast-path gain is structurally modest.
  */
 
 #include <algorithm>
@@ -56,6 +72,21 @@ double
 secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Median of the collected samples (mean of the middle two when the
+ *  count is even). The guards all compare medians: single samples
+ *  and minima are too noisy on shared hosts. */
+double
+median(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t mid = samples.size() / 2;
+    return samples.size() % 2 != 0
+               ? samples[mid]
+               : 0.5 * (samples[mid - 1] + samples[mid]);
 }
 
 struct ConfigPerf
@@ -102,38 +133,102 @@ struct TracingPerf
     }
 };
 
-constexpr double tracing_guard_pct = 2.0;
+/**
+ * Max tolerated slowdown of the disabled-tracer leg over the plain
+ * sweep measurement of the identical configuration. The two legs run
+ * the same code, so this is bounded by host timing noise: 10% clears
+ * the run-to-run jitter of shared CI hosts (medians still wander a
+ * few percent) while remaining far below the 50%+ a tracer gate that
+ * stopped being free would cost. Enforced only when both sides are
+ * medians of at least three samples — against a single sweep sample
+ * the comparison is meaningless and is recorded but not guarded.
+ */
+constexpr double tracing_guard_pct = 10.0;
+constexpr unsigned guard_min_samples = 3;
 
 TracingPerf
 timeTracing(const core::RunOptions &opts, unsigned repeat)
 {
     TracingPerf t;
     t.app = "FLO52";
-    // Min-of-R with a floor of three: both legs run the same DES
+    // Median-of-R with a floor of three: both legs run the same DES
     // workload, so the comparison is noise-bounded, and the guard
-    // below needs a tight minimum.
+    // below needs a stable central value, not a lucky minimum.
     t.repeat = std::max(repeat, 3u);
     const auto app = apps::perfectAppByName(t.app);
     const auto cfg = hw::CedarConfig::withProcs(t.procs);
+    std::vector<double> disabled, enabled;
     for (unsigned r = 0; r < t.repeat; ++r) {
         core::RunOptions o = opts;
         o.collectTimeline = false;
         auto t0 = Clock::now();
         auto res = core::runExperiment(app, cfg, o);
-        double wall = secondsSince(t0);
-        if (r == 0 || wall < t.disabledWallSec)
-            t.disabledWallSec = wall;
+        disabled.push_back(secondsSince(t0));
         t.events = res.eventsExecuted;
 
         o.collectTimeline = true;
         t0 = Clock::now();
         res = core::runExperiment(app, cfg, o);
-        wall = secondsSince(t0);
-        if (r == 0 || wall < t.enabledWallSec)
-            t.enabledWallSec = wall;
+        enabled.push_back(secondsSince(t0));
         t.timelineEvents = res.timeline.size();
     }
+    t.disabledWallSec = median(std::move(disabled));
+    t.enabledWallSec = median(std::move(enabled));
     return t;
+}
+
+/** The fast-path leg: one app/config, analytic fast path on vs off. */
+struct FastPathPerf
+{
+    std::string app;
+    unsigned procs = 8;
+    unsigned repeat = 0;
+    bool guarded = false;       //!< this entry enforces the speedup
+    double fastWallSec = 0;     //!< median, RunOptions::fastPath on
+    double slowWallSec = 0;     //!< median, fast path off
+    std::uint64_t events = 0;   //!< DES events (identical both legs)
+    std::uint64_t fastHits = 0; //!< pattern replays in the fast run
+    std::uint64_t fastPatterns = 0; //!< distinct patterns learned
+
+    double
+    speedup() const
+    {
+        return fastWallSec > 0 ? slowWallSec / fastWallSec : 0.0;
+    }
+};
+
+/** FLO52 8p must keep at least this fast/slow wall-time ratio. */
+constexpr double fast_path_guard_min_speedup = 2.0;
+
+FastPathPerf
+timeFastPath(const std::string &name, const core::RunOptions &opts,
+             unsigned repeat, bool guarded)
+{
+    FastPathPerf f;
+    f.app = name;
+    f.repeat = std::max(repeat, 3u);
+    f.guarded = guarded;
+    const auto app = apps::perfectAppByName(name);
+    const auto cfg = hw::CedarConfig::withProcs(f.procs);
+    std::vector<double> fastWalls, slowWalls;
+    for (unsigned r = 0; r < f.repeat; ++r) {
+        core::RunOptions o = opts;
+        o.fastPath = true;
+        auto t0 = Clock::now();
+        auto res = core::runExperiment(app, cfg, o);
+        fastWalls.push_back(secondsSince(t0));
+        f.events = res.eventsExecuted;
+        f.fastHits = res.fastPathHits;
+        f.fastPatterns = res.fastPathPatterns;
+
+        o.fastPath = false;
+        t0 = Clock::now();
+        res = core::runExperiment(app, cfg, o);
+        slowWalls.push_back(secondsSince(t0));
+    }
+    f.fastWallSec = median(std::move(fastWalls));
+    f.slowWallSec = median(std::move(slowWalls));
+    return f;
 }
 
 AppPerf
@@ -146,32 +241,35 @@ timeSweep(const apps::AppModel &app, const core::RunOptions &opts,
     for (std::size_t i = 0; i < bench::configs.size(); ++i)
         perf.configs[i].procs = bench::configs[i];
 
-    perf.sweepWallSec = -1;
-    for (unsigned r = 0; r < std::max(repeat, 1u); ++r) {
+    const unsigned repeats = std::max(repeat, 1u);
+    std::vector<std::vector<double>> walls(bench::configs.size());
+    std::vector<double> sweepWalls;
+    for (unsigned r = 0; r < repeats; ++r) {
         const auto sweep0 = Clock::now();
         core::parallelFor(
             bench::configs.size(), jobs, [&](std::size_t i) {
                 const auto t0 = Clock::now();
                 auto res =
                     core::runExperiment(app, bench::configs[i], opts);
-                const double wall = secondsSince(t0);
-                auto &slot = perf.configs[i];
-                if (r == 0 || wall < slot.wallSec) {
-                    slot.wallSec = wall;
-                    slot.result = std::move(res);
-                }
+                walls[i].push_back(secondsSince(t0));
+                // Results are deterministic across repeats; keep the
+                // first and let later repeats contribute timing only.
+                if (r == 0)
+                    perf.configs[i].result = std::move(res);
             });
-        const double sweepWall = secondsSince(sweep0);
-        if (perf.sweepWallSec < 0 || sweepWall < perf.sweepWallSec)
-            perf.sweepWallSec = sweepWall;
+        sweepWalls.push_back(secondsSince(sweep0));
     }
+    for (std::size_t i = 0; i < bench::configs.size(); ++i)
+        perf.configs[i].wallSec = median(std::move(walls[i]));
+    perf.sweepWallSec = median(std::move(sweepWalls));
     return perf;
 }
 
 void
 writeJson(std::ostream &os, const std::vector<AppPerf> &apps,
-          const TracingPerf &tracing, unsigned jobs, double scale,
-          unsigned repeat, double total_wall)
+          const TracingPerf &tracing,
+          const std::vector<FastPathPerf> &fastpath, unsigned jobs,
+          double scale, unsigned repeat, double total_wall)
 {
     tools::JsonWriter j(os);
     j.beginObject();
@@ -219,10 +317,41 @@ writeJson(std::ostream &os, const std::vector<AppPerf> &apps,
     j.field("disabled_overhead_pct", tracing.disabledOverheadPct());
     j.field("enabled_overhead_pct", tracing.enabledOverheadPct());
     j.field("guard_max_disabled_overhead_pct", tracing_guard_pct);
-    j.field("guard_ok", tracing.sweepWallSec <= 0 ||
+    j.field("guard_enforced", repeat >= guard_min_samples);
+    j.field("guard_ok", repeat < guard_min_samples ||
+                            tracing.sweepWallSec <= 0 ||
                             tracing.disabledOverheadPct() <=
                                 tracing_guard_pct);
     j.endObject();
+
+    j.key("fast_path").beginArray();
+    for (const auto &f : fastpath) {
+        j.beginObject();
+        j.field("app", f.app);
+        j.field("procs", f.procs);
+        j.field("repeat", f.repeat);
+        j.field("fast_wall_s", f.fastWallSec);
+        j.field("slow_wall_s", f.slowWallSec);
+        j.field("speedup", f.speedup());
+        j.field("events", f.events);
+        j.field("fast_events_per_sec",
+                f.fastWallSec > 0
+                    ? static_cast<double>(f.events) / f.fastWallSec
+                    : 0.0);
+        j.field("slow_events_per_sec",
+                f.slowWallSec > 0
+                    ? static_cast<double>(f.events) / f.slowWallSec
+                    : 0.0);
+        j.field("fast_hits", f.fastHits);
+        j.field("fast_patterns", f.fastPatterns);
+        j.field("guarded", f.guarded);
+        j.field("guard_min_speedup", fast_path_guard_min_speedup);
+        j.field("guard_ok",
+                !f.guarded ||
+                    f.speedup() >= fast_path_guard_min_speedup);
+        j.endObject();
+    }
+    j.endArray();
     j.endObject();
 }
 
@@ -315,22 +444,43 @@ main(int argc, char **argv)
                   << tracing.enabledWallSec << " s (+"
                   << tracing.enabledOverheadPct() << "%, "
                   << tracing.timelineEvents << " timeline events)\n";
+
+        std::vector<FastPathPerf> fastpath;
+        fastpath.push_back(timeFastPath("FLO52", opts, repeat, true));
+        fastpath.push_back(timeFastPath("ADM", opts, repeat, false));
+        for (const auto &fp : fastpath)
+            std::cout << "fast path (" << fp.app << " " << fp.procs
+                      << "p): fast " << fp.fastWallSec << " s, slow "
+                      << fp.slowWallSec << " s (" << fp.speedup()
+                      << "x, " << fp.fastHits << " hits, "
+                      << fp.fastPatterns << " patterns)\n";
         const double total = secondsSince(t0);
 
         std::ofstream f(out);
         if (!f)
             throw std::runtime_error("cannot write " + out);
-        writeJson(f, perfs, tracing, jobs, scale, repeat, total);
+        writeJson(f, perfs, tracing, fastpath, jobs, scale, repeat,
+                  total);
         std::cout << "wrote " << out << " (" << total
                   << " s total)\n";
 
-        if (tracing.sweepWallSec > 0 &&
+        if (repeat >= guard_min_samples && tracing.sweepWallSec > 0 &&
             tracing.disabledOverheadPct() > tracing_guard_pct) {
             std::cerr << "error: disabled-tracer leg is "
                       << tracing.disabledOverheadPct()
                       << "% slower than the plain sweep run of the "
                          "same configuration (guard: "
                       << tracing_guard_pct << "%)\n";
+            return 3;
+        }
+        for (const auto &fp : fastpath) {
+            if (!fp.guarded ||
+                fp.speedup() >= fast_path_guard_min_speedup)
+                continue;
+            std::cerr << "error: fast path is only " << fp.speedup()
+                      << "x the slow path on " << fp.app << " "
+                      << fp.procs << "p (guard: "
+                      << fast_path_guard_min_speedup << "x)\n";
             return 3;
         }
     } catch (const std::exception &e) {

@@ -48,6 +48,7 @@ runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
 
     hw::Machine m(cfg);
     m.trace().setEnabled(opts.collectTrace);
+    m.net().setFastPath(opts.fastPath);
 
     // A scoped recorder subscribes the timeline to the machine's bus
     // for exactly this run; without it the tracer's wants() gates
@@ -104,6 +105,9 @@ runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
     r.metrics = obs::collectMetrics(m, r.ct);
     r.eventsExecuted = m.eq().executed();
     r.peakPending = m.eq().peakPending();
+    r.fastPathHits = m.net().fastStats().hits();
+    r.fastPathMisses = m.net().fastStats().misses();
+    r.fastPathPatterns = m.net().fastPatterns();
 
     if (opts.collectTrace)
         r.trace = m.trace().records();

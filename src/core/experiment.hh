@@ -83,6 +83,13 @@ struct RunResult
     std::uint64_t eventsExecuted = 0;
     std::uint64_t peakPending = 0;
 
+    /** Analytic fast-path engagement (informational — every other
+     *  field is bit-identical whether these are 0 or millions). */
+    std::uint64_t fastPathHits = 0;
+    std::uint64_t fastPathMisses = 0;
+    /** Distinct (shape, offset-vector) patterns learned. */
+    std::uint64_t fastPathPatterns = 0;
+
     /** The cedarhpm trace (empty when tracing disabled). */
     std::vector<hpm::Record> trace;
 
@@ -132,6 +139,9 @@ struct RunOptions
     std::uint64_t eventLimit = 500'000'000ULL;
     /** Enable the Section-5.1 context-switch/RTL cooperation. */
     bool ctxRtlCoop = false;
+    /** Analytic uncontended fast path (`--no-fast-path` disables).
+     *  Published results are bit-identical either way. */
+    bool fastPath = true;
 
     /** Fault plan injected into the run (see docs/FAULTS.md). */
     std::vector<fault::FaultSpec> faults;

@@ -78,29 +78,14 @@ Ce::reserveBurst(sim::Addr addr, unsigned words)
     const sim::Tick start = eq_.now();
     const std::uint32_t flow =
         tracer_ ? tracer_->flowBegin(static_cast<int>(id_), start) : 0;
-    sim::Tick issue = start;
-    sim::Tick complete = start;
-    sim::Tick unloaded_last = 0;
-    unsigned issued = 0;
-
-    for (const auto &chunk : net_.gmemMap().chunkify(addr, words)) {
-        const auto res =
-            net_.chunkAccess(issue, cluster_, local_, chunk, flow);
-        complete = std::max(complete, res.complete);
-        unloaded_last = res.unloaded;
-        issued += chunk.len;
-        // The CE issues the stream pipelined at one word per cycle.
-        issue = start + issued;
-    }
+    const auto res = net_.burst(start, cluster_, local_, addr, words, flow);
 
     globalWords_ += words;
     ++globalAccesses_;
 
     BurstTiming t;
-    t.complete = complete;
-    // Zero-contention duration of the same stream: pipeline fill of
-    // all but the last chunk, plus the last chunk's full latency.
-    t.unloaded = (issue - start) + unloaded_last;
+    t.complete = res.complete;
+    t.unloaded = res.unloaded;
     t.flow = flow;
     return t;
 }
@@ -273,8 +258,17 @@ Ce::faultedAccess(sim::Addr addr, os::UserAct act, unsigned attempt,
         return;
     }
     recordFault(fault::FaultKind::access_timeout, addr);
-    const sim::Tick wait =
-        costs_.gm_timeout + (costs_.gm_retry_backoff << attempt);
+    // Exponential backoff saturates instead of shifting into the sign
+    // bits (a backoff of 2^33 at attempt 31 used to wrap to garbage),
+    // and the total wait is clamped so completion still schedules
+    // below the max_tick sentinel.
+    sim::Tick wait = sim::satAdd(costs_.gm_timeout,
+                                 sim::satShl(costs_.gm_retry_backoff,
+                                             attempt));
+    const sim::Tick headroom =
+        eq_.now() >= sim::max_tick - 1 ? 0 : sim::max_tick - 1 - eq_.now();
+    if (wait > headroom)
+        wait = headroom;
     acct_.addUser(id_, act, wait);
     if (tracer_)
         tracer_->userSpan(static_cast<int>(id_), act, eq_.now(), wait);

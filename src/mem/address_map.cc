@@ -18,19 +18,18 @@ AddressMap::AddressMap(unsigned n_modules, unsigned group_size)
             "memory geometry: " + std::to_string(n_modules) +
             " modules not divisible into groups of " +
             std::to_string(group_size));
+    if ((n_modules & (n_modules - 1)) == 0)
+        moduleMask_ = n_modules - 1;
+    if ((group_size & (group_size - 1)) == 0)
+        groupMask_ = group_size - 1;
 }
 
 std::vector<Chunk>
 AddressMap::chunkify(sim::Addr addr, unsigned len) const
 {
     std::vector<Chunk> chunks;
-    while (len > 0) {
-        const unsigned off = addr % groupSize_;
-        const unsigned take = std::min(len, groupSize_ - off);
-        chunks.push_back(Chunk{addr, take});
-        addr += take;
-        len -= take;
-    }
+    forEachChunk(addr, len,
+                 [&chunks](const Chunk &c) { chunks.push_back(c); });
     return chunks;
 }
 

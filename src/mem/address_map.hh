@@ -15,6 +15,7 @@
 #ifndef CEDAR_MEM_ADDRESS_MAP_HH
 #define CEDAR_MEM_ADDRESS_MAP_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/types.hh"
@@ -47,8 +48,16 @@ class AddressMap
     unsigned groupSize() const { return groupSize_; }
     unsigned numGroups() const { return nModules_ / groupSize_; }
 
-    /** Module holding double-word @p addr. */
-    unsigned module(sim::Addr addr) const { return addr % nModules_; }
+    /** Module holding double-word @p addr. Interleaving runs at one
+     *  lookup per streamed word, so the power-of-two geometries
+     *  (Cedar's 32/4 included) take a mask instead of a division. */
+    unsigned
+    module(sim::Addr addr) const
+    {
+        return moduleMask_ != 0
+                   ? static_cast<unsigned>(addr & moduleMask_)
+                   : static_cast<unsigned>(addr % nModules_);
+    }
 
     /** Module group (== stage-2 switch index) for @p addr. */
     unsigned group(sim::Addr addr) const { return module(addr) / groupSize_; }
@@ -61,9 +70,34 @@ class AddressMap
      */
     std::vector<Chunk> chunkify(sim::Addr addr, unsigned len) const;
 
+    /**
+     * Allocation-free form of chunkify: invoke @p f on each chunk in
+     * address order. The burst hot path iterates millions of streams
+     * per run and must not pay a vector per burst.
+     */
+    template <typename Fn>
+    void
+    forEachChunk(sim::Addr addr, unsigned len, Fn &&f) const
+    {
+        while (len > 0) {
+            const unsigned off =
+                groupMask_ != 0
+                    ? static_cast<unsigned>(addr & groupMask_)
+                    : static_cast<unsigned>(addr % groupSize_);
+            const unsigned take = std::min(len, groupSize_ - off);
+            f(Chunk{addr, take});
+            addr += take;
+            len -= take;
+        }
+    }
+
   private:
     unsigned nModules_;
     unsigned groupSize_;
+    /** addr-space masks when the respective size is a power of two
+     *  (0 otherwise — then the modulo fallback applies). */
+    sim::Addr moduleMask_ = 0;
+    sim::Addr groupMask_ = 0;
 };
 
 } // namespace cedar::mem

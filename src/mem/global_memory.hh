@@ -138,6 +138,14 @@ class GlobalMemory
     /** True when module @p m never serves arrivals at @p at. */
     bool moduleDead(unsigned m, sim::Tick at) const;
 
+    /** True when any module has an injected fault installed. The
+     *  analytic fast path refuses to fire on a faulted memory — the
+     *  slow path alone evaluates fault windows. */
+    bool hasFaults() const { return !faults_.empty(); }
+
+    /** The tracer this memory publishes through (fast-path gate). */
+    const obs::Tracer *tracerPtr() const { return tracer_; }
+
     /** Sum of queueing wait across all modules. */
     sim::Tick totalWaitTicks() const;
 

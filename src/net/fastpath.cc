@@ -1,0 +1,218 @@
+#include "net/fastpath.hh"
+
+#include <algorithm>
+
+#include "mem/global_memory.hh"
+#include "net/network.hh"
+#include "sim/fifo_server.hh"
+
+namespace cedar::net
+{
+
+namespace
+{
+
+/** Scratch index space: [0,g) stage1, [g,2g) stage2, [2g,3g)
+ *  returnA, [3g] returnB (one shared CE port), [3g+1, ...) modules. */
+std::size_t
+flatIndex(const ServerRef &r, unsigned groups)
+{
+    switch (r.bank) {
+    case FastBank::stage1:
+        return r.idx;
+    case FastBank::stage2:
+        return groups + r.idx;
+    case FastBank::returnA:
+        return 2 * groups + r.idx;
+    case FastBank::returnB:
+        return 3 * groups;
+    case FastBank::module:
+    default:
+        return 3 * groups + 1 + r.idx;
+    }
+}
+
+ServerRef
+refOf(std::size_t i, unsigned groups)
+{
+    if (i < groups)
+        return {FastBank::stage1, static_cast<std::uint32_t>(i)};
+    if (i < 2 * groups)
+        return {FastBank::stage2, static_cast<std::uint32_t>(i - groups)};
+    if (i < 3 * groups)
+        return {FastBank::returnA,
+                static_cast<std::uint32_t>(i - 2 * groups)};
+    if (i == 3 * groups)
+        return {FastBank::returnB, 0};
+    return {FastBank::module,
+            static_cast<std::uint32_t>(i - 3 * groups - 1)};
+}
+
+} // namespace
+
+/**
+ * Replay the exact slow-path serve sequence of one access shape on
+ * scratch servers at start = 0, optionally pre-loading each touched
+ * server's free horizon with its relative offset, and condense the
+ * outcome. The arithmetic here must mirror
+ * Network::forwardPath/returnPath, GlobalMemory::accessChunk/rmw and
+ * the burst chunk loop statement for statement — the bit-identity
+ * tests hold it to that. Extraction follows sh.servers — the shape's
+ * canonical gather order, the same order @p offsets is keyed in.
+ */
+BurstPattern
+BurstPatternCache::build(const ShapeInfo &sh,
+                         const std::vector<sim::Tick> *offsets) const
+{
+    constexpr sim::Tick hop = Network::hop_latency;
+    const unsigned groups = map_.numGroups();
+    const unsigned mods = map_.numModules();
+
+    std::vector<sim::FifoServer> scratch(3 * groups + 1 + mods);
+
+    if (offsets != nullptr)
+        for (std::size_t j = 0; j < sh.servers.size(); ++j)
+            scratch[flatIndex(sh.servers[j], groups)].applyBatch(
+                0, 0, 0, (*offsets)[j]);
+
+    BurstPattern p;
+
+    auto addWait = [&p](obs::ResourceClass cls, sim::Tick wait) {
+        for (auto &w : p.waits) {
+            if (w.cls == cls && w.wait == wait) {
+                ++w.count;
+                return;
+            }
+        }
+        p.waits.push_back(PatternWaits{cls, wait, 1});
+    };
+
+    auto serveAt = [&](std::size_t si, obs::ResourceClass cls,
+                       sim::Tick arrival, sim::Tick service) {
+        auto &s = scratch[si];
+        const sim::Tick free = s.freeAt();
+        addWait(cls, free > arrival ? free - arrival : 0);
+        return s.serve(arrival, service);
+    };
+
+    // A canonical address with the same home module reproduces the
+    // chunk/group/module sequence of every address in the shape
+    // class: chunk boundaries depend on addr % group_size and
+    // routing on addr % n_modules, and group_size divides n_modules.
+    const sim::Addr addr0 = sh.firstModule;
+    sim::Tick complete = 0;
+
+    if (sh.isRmw) {
+        const unsigned g = map_.group(addr0);
+        const sim::Tick t1 =
+            serveAt(g, obs::ResourceClass::stage1_port, hop, 1);
+        const sim::Tick t2 = serveAt(
+            groups + g, obs::ResourceClass::stage2_port, t1 + hop, 1);
+        const sim::Tick done = serveAt(
+            3 * groups + 1 + sh.firstModule,
+            obs::ResourceClass::memory_module, t2 + hop,
+            mem::GlobalMemory::rmw_service);
+        const sim::Tick t3 =
+            serveAt(2 * groups + g, obs::ResourceClass::return_a_port,
+                    done + hop, 1);
+        const sim::Tick t4 = serveAt(
+            3 * groups, obs::ResourceClass::return_b_port, t3 + hop, 1);
+        complete = t4 + hop;
+        p.lastLen = 1;
+    } else {
+        unsigned issued = 0;
+        map_.forEachChunk(addr0, sh.words, [&](const mem::Chunk &chunk) {
+            // The CE issues the stream pipelined at one word/cycle.
+            const sim::Tick issue = issued;
+            const unsigned g = map_.group(chunk.addr);
+            const sim::Tick t1 = serveAt(
+                g, obs::ResourceClass::stage1_port, issue + hop,
+                chunk.len);
+            const sim::Tick t2 =
+                serveAt(groups + g, obs::ResourceClass::stage2_port,
+                        t1 + hop, chunk.len);
+            const sim::Tick arrival = t2 + hop;
+            sim::Tick memdone = 0;
+            for (unsigned i = 0; i < chunk.len; ++i) {
+                const unsigned m = map_.module(chunk.addr + i);
+                memdone = std::max(
+                    memdone,
+                    serveAt(3 * groups + 1 + m,
+                            obs::ResourceClass::memory_module, arrival,
+                            mem::GlobalMemory::word_service));
+            }
+            const sim::Tick t3 =
+                serveAt(2 * groups + g,
+                        obs::ResourceClass::return_a_port, memdone + hop,
+                        chunk.len);
+            const sim::Tick t4 =
+                serveAt(3 * groups, obs::ResourceClass::return_b_port,
+                        t3 + hop, chunk.len);
+            complete = std::max(complete, t4 + hop);
+            issued += chunk.len;
+            p.lastLen = chunk.len;
+        });
+    }
+
+    p.relComplete = complete;
+    for (const ServerRef &r : sh.servers) {
+        const auto &s = scratch[flatIndex(r, groups)];
+        const auto &st = s.stats();
+        PatternServer e;
+        e.bank = r.bank;
+        e.idx = r.idx;
+        e.requests = static_cast<std::uint32_t>(st.requests());
+        e.waitSum = st.waitTicks();
+        e.busySum = st.busyTicks();
+        e.freeAt = s.freeAt();
+        p.servers.push_back(e);
+    }
+    return p;
+}
+
+/**
+ * Derive a shape's touched-server set by walking its address
+ * sequence. Which servers see traffic depends only on the addresses
+ * — never on contention — so the set (and its canonical ascending
+ * order) is valid for every offset vector.
+ */
+ShapeInfo
+BurstPatternCache::makeShape(unsigned first_module, unsigned words,
+                             bool is_rmw) const
+{
+    const unsigned groups = map_.numGroups();
+
+    ShapeInfo sh;
+    sh.firstModule = first_module;
+    sh.words = words;
+    sh.isRmw = is_rmw;
+
+    std::vector<char> touched(3 * groups + 1 + map_.numModules(), 0);
+
+    const sim::Addr addr0 = first_module;
+    if (is_rmw) {
+        const unsigned g = map_.group(addr0);
+        touched[g] = 1;
+        touched[groups + g] = 1;
+        touched[3 * groups + 1 + first_module] = 1;
+        touched[2 * groups + g] = 1;
+        touched[3 * groups] = 1;
+    } else {
+        map_.forEachChunk(addr0, words, [&](const mem::Chunk &chunk) {
+            const unsigned g = map_.group(chunk.addr);
+            touched[g] = 1;
+            touched[groups + g] = 1;
+            for (unsigned i = 0; i < chunk.len; ++i)
+                touched[3 * groups + 1 + map_.module(chunk.addr + i)] = 1;
+            touched[2 * groups + g] = 1;
+            touched[3 * groups] = 1;
+        });
+    }
+
+    for (std::size_t i = 0; i < touched.size(); ++i)
+        if (touched[i])
+            sh.servers.push_back(refOf(i, groups));
+    return sh;
+}
+
+} // namespace cedar::net

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Analytic fast-forward patterns for global-memory traffic.
+ *
+ * Every global access in the model is reservation based: the whole
+ * stage1 -> stage2 -> module -> returnA -> returnB path of a burst
+ * is reserved synchronously at issue time (sim/fifo_server.hh). The
+ * set of servers an access touches is a pure function of its *shape*
+ * (home module of the first word, word count, burst vs RMW) — the
+ * routing depends only on addresses. Given the shape, the entire
+ * reservation outcome is determined by one more input: each touched
+ * server's free horizon *relative to the access start*,
+ *
+ *   offsets[i] = max(0, freeAt_i - start).
+ *
+ * This holds because FifoServer::serve computes
+ * start = max(arrival, not_before, free_at); with no fault windows
+ * (not_before = 0) every serve start, wait and updated horizon is a
+ * function of (arrival - start, offset) alone, so
+ *
+ *   outcome(start, offsets) = outcome(0, offsets) + start.
+ *
+ * The special case offsets == 0 is the idle machine; non-zero
+ * offsets capture *contention*, including the convoys a saturated
+ * streaming phase forms, where the same few offset vectors recur
+ * thousands of times (queueing reaches a near-periodic steady
+ * state).
+ *
+ * A BurstPattern is therefore built per (shape, offset vector) by
+ * running the exact slow-path serve sequence against scratch servers
+ * whose free horizons are pre-loaded with the offsets, at start = 0.
+ * It records per touched server the request/wait/busy sums and
+ * relative free horizon, plus the aggregated per-class queueing
+ * waits the telemetry layer would have published. Replaying it is
+ * O(touched servers) instead of O(words), and leaves server
+ * statistics, the MetricsHub and the returned timing bit-identical
+ * to the slow path — reuse requires an *exact* offset-vector match,
+ * so the replay is self-verifying (the correctness bar: not a single
+ * published number may change — see tests/test_fastpath.cc).
+ */
+
+#ifndef CEDAR_NET_FASTPATH_HH
+#define CEDAR_NET_FASTPATH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "obs/resource.hh"
+#include "sim/types.hh"
+
+namespace cedar::net
+{
+
+/** Structural bank of one pattern entry's server. Which concrete
+ *  FifoServer it resolves to depends on the issuing cluster/CE
+ *  (Network::fastServer) — the pattern itself is position free. */
+enum class FastBank : std::uint8_t
+{
+    stage1,  //!< stage-1 output port `idx` (a module group)
+    stage2,  //!< stage-2 input port of group `idx` (cluster column)
+    returnA, //!< return stage A port of group `idx`
+    returnB, //!< return stage B port (the issuing CE's own port)
+    module,  //!< memory module `idx`
+};
+
+/** Position-free identity of one server an access shape touches. */
+struct ServerRef
+{
+    FastBank bank;
+    std::uint32_t idx; //!< group or module index (bank-relative)
+};
+
+/** One touched server's aggregated reservation outcome, all ticks
+ *  relative to the access start. */
+struct PatternServer
+{
+    FastBank bank;
+    std::uint32_t idx;      //!< group or module index (bank-relative)
+    std::uint32_t requests; //!< serve() calls replayed
+    sim::Tick waitSum;      //!< queueing recorded
+    sim::Tick busySum;      //!< service recorded
+    sim::Tick freeAt;       //!< server's free horizon afterwards
+};
+
+/** Aggregated resource_wait telemetry of one pattern: @p count
+ *  events of @p wait ticks at class @p cls. */
+struct PatternWaits
+{
+    obs::ResourceClass cls;
+    sim::Tick wait;
+    std::uint64_t count;
+};
+
+/** The reservation outcome of one (shape, offsets) pair at
+ *  start = 0. */
+struct BurstPattern
+{
+    sim::Tick relComplete = 0; //!< completion tick relative to start
+    unsigned lastLen = 0;      //!< last chunk's word count (unloaded)
+    std::vector<PatternServer> servers;
+    std::vector<PatternWaits> waits;
+};
+
+/** FNV-1a over the raw offset ticks; equality stays the exact
+ *  element-wise vector compare, so a hash collision can never apply
+ *  the wrong pattern. */
+struct OffsetVecHash
+{
+    std::size_t
+    operator()(const std::vector<sim::Tick> &v) const
+    {
+        std::uint64_t h = 1469598103934665603ULL;
+        for (const sim::Tick t : v)
+            h = (h ^ t) * 1099511628211ULL;
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** One access shape: its touched-server set (fixed canonical order,
+ *  the order offsets are gathered and keyed in) and the patterns
+ *  learned per distinct offset vector. */
+struct ShapeInfo
+{
+    unsigned firstModule = 0;
+    unsigned words = 0;
+    bool isRmw = false;
+    std::vector<ServerRef> servers;
+    std::unordered_map<std::vector<sim::Tick>, BurstPattern,
+                       OffsetVecHash>
+        patterns;
+};
+
+/**
+ * Memoized pattern store, one per Network (and therefore per
+ * Machine: single-threaded by the same ownership rule as the
+ * TelemetryBus). Applications issue a small set of access shapes
+ * millions of times, and contended phases queue into near-periodic
+ * steady states with few distinct offset vectors, so the cache stays
+ * small while the replay savings compound.
+ */
+class BurstPatternCache
+{
+  public:
+    /** Offsets at or above this bound skip the fast path: they would
+     *  push the scratch replay's internal arithmetic toward the tick
+     *  ceiling, where the slow path's own overflow behaviour (a
+     *  SimError from serve()) must stay authoritative. */
+    static constexpr sim::Tick max_offset = sim::Tick(1) << 40;
+
+    /** Learned patterns stop growing past this approximate byte
+     *  footprint across all shapes; later unseen offset vectors just
+     *  take the slow path. A byte budget rather than an entry count:
+     *  contended RMW patterns are ~50x smaller than long-burst ones,
+     *  and sync-heavy runs want many of exactly those. */
+    static constexpr std::size_t max_pattern_bytes = 192u << 20;
+
+    explicit BurstPatternCache(const mem::AddressMap &map) : map_(map) {}
+
+    /** The shape record for a burst of @p words whose first word
+     *  lives on @p first_module (or the single-word RMW shape);
+     *  its touched-server list is derived on first use. */
+    ShapeInfo &
+    shape(unsigned first_module, unsigned words, bool is_rmw)
+    {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(first_module) << 33) |
+            (static_cast<std::uint64_t>(words) << 1) | (is_rmw ? 1u : 0u);
+        auto it = shapes_.find(key);
+        if (it == shapes_.end())
+            it = shapes_.emplace(key, makeShape(first_module, words, is_rmw))
+                     .first;
+        return it->second;
+    }
+
+    /** The pattern for @p sh under @p offsets (one entry per
+     *  sh.servers element, same order), built on first use. nullptr
+     *  means "take the slow path": an offset is out of range, or the
+     *  store hit its size cap on an unseen vector. */
+    const BurstPattern *
+    pattern(ShapeInfo &sh, const std::vector<sim::Tick> &offsets)
+    {
+        const auto it = sh.patterns.find(offsets);
+        if (it != sh.patterns.end())
+            return &it->second;
+        if (patternBytes_ >= max_pattern_bytes)
+            return nullptr;
+        for (const sim::Tick o : offsets)
+            if (o >= max_offset)
+                return nullptr;
+        // Build only on the second sighting of an offset vector:
+        // heavily contended sweeps produce long tails of one-shot
+        // queue states whose patterns would never be replayed — the
+        // build (a full scratch replay) and the stored bytes would
+        // be pure overhead. The sighting note is a 64-bit hash, so a
+        // collision merely builds one pattern a sighting early; the
+        // pattern map itself still matches vectors exactly.
+        if (++sightings_[sightingKey(sh, offsets)] < 2)
+            return nullptr;
+        ++patternsBuilt_;
+        const BurstPattern &p =
+            sh.patterns.emplace(offsets, build(sh, &offsets))
+                .first->second;
+        patternBytes_ += sizeof(BurstPattern) +
+                         p.servers.size() * sizeof(PatternServer) +
+                         p.waits.size() * sizeof(PatternWaits) +
+                         offsets.size() * sizeof(sim::Tick);
+        return &p;
+    }
+
+    /** Distinct (shape, offsets) patterns learned so far. */
+    std::uint64_t patternsBuilt() const { return patternsBuilt_; }
+
+  private:
+    ShapeInfo makeShape(unsigned first_module, unsigned words,
+                        bool is_rmw) const;
+    BurstPattern build(const ShapeInfo &sh,
+                       const std::vector<sim::Tick> *offsets) const;
+
+    static std::uint64_t
+    sightingKey(const ShapeInfo &sh, const std::vector<sim::Tick> &offsets)
+    {
+        std::uint64_t h = OffsetVecHash{}(offsets);
+        h ^= (static_cast<std::uint64_t>(sh.firstModule) << 33) |
+             (static_cast<std::uint64_t>(sh.words) << 1) |
+             (sh.isRmw ? 1u : 0u);
+        return h * 0x9e3779b97f4a7c15ULL;
+    }
+
+    mem::AddressMap map_;
+    std::unordered_map<std::uint64_t, ShapeInfo> shapes_;
+    std::unordered_map<std::uint64_t, std::uint32_t> sightings_;
+    std::uint64_t patternsBuilt_ = 0;
+    std::size_t patternBytes_ = 0;
+};
+
+} // namespace cedar::net
+
+#endif // CEDAR_NET_FASTPATH_HH

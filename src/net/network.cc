@@ -28,7 +28,8 @@ checkCluster(sim::ClusterId cluster, unsigned n_clusters)
 
 Network::Network(unsigned n_clusters, unsigned ces_per_cluster,
                  mem::GlobalMemory &gmem)
-    : nClusters_(n_clusters), cesPerCluster_(ces_per_cluster), gmem_(gmem)
+    : nClusters_(n_clusters), cesPerCluster_(ces_per_cluster),
+      gmem_(gmem), cache_(gmem.map())
 {
     if (n_clusters == 0 || ces_per_cluster == 0)
         throw sim::ConfigError(
@@ -61,22 +62,27 @@ sim::Tick
 Network::forwardPath(sim::Tick when, sim::ClusterId cluster, unsigned group,
                      unsigned len, std::uint32_t flow)
 {
+    // Latency compositions saturate instead of wrapping; a saturated
+    // arrival makes serve() throw its overflow error, which is the
+    // behaviour the reservation layer already defines at the ceiling.
     const auto groups = static_cast<unsigned>(stage2In_.size());
     auto &p1 = stage1_[cluster].port(group);
+    const sim::Tick a1 = sim::satAdd(when, hop_latency);
     noteWait(obs::ResourceClass::stage1_port,
-             static_cast<std::int32_t>(cluster * groups + group),
-             when + hop_latency, p1.freeAt());
-    const sim::Tick t1 = p1.serve(when + hop_latency, len);
+             static_cast<std::int32_t>(cluster * groups + group), a1,
+             p1.freeAt());
+    const sim::Tick t1 = p1.serve(a1, len);
     if (tracer_)
         tracer_->flowStage(
             flow, obs::FlowStage::stage1, t1,
             static_cast<std::int32_t>(cluster * groups + group), len);
 
     auto &p2 = stage2In_[group].port(cluster);
+    const sim::Tick a2 = sim::satAdd(t1, hop_latency);
     noteWait(obs::ResourceClass::stage2_port,
              static_cast<std::int32_t>(group * nClusters_ + cluster),
-             t1 + hop_latency, p2.freeAt());
-    const sim::Tick t2 = p2.serve(t1 + hop_latency, len);
+             a2, p2.freeAt());
+    const sim::Tick t2 = p2.serve(a2, len);
     if (tracer_)
         tracer_->flowStage(
             flow, obs::FlowStage::stage2, t2,
@@ -89,24 +95,26 @@ Network::returnPath(sim::Tick when, sim::ClusterId cluster, int ce_port,
                     unsigned group, unsigned len, std::uint32_t flow)
 {
     auto &pa = returnA_[group].port(cluster);
+    const sim::Tick a3 = sim::satAdd(when, hop_latency);
     noteWait(obs::ResourceClass::return_a_port,
              static_cast<std::int32_t>(group * nClusters_ + cluster),
-             when + hop_latency, pa.freeAt());
-    const sim::Tick t3 = pa.serve(when + hop_latency, len);
+             a3, pa.freeAt());
+    const sim::Tick t3 = pa.serve(a3, len);
 
     auto &pb = returnB_[cluster].port(ce_port);
+    const sim::Tick a4 = sim::satAdd(t3, hop_latency);
     noteWait(obs::ResourceClass::return_b_port,
              static_cast<std::int32_t>(cluster * cesPerCluster_ +
                                        static_cast<unsigned>(ce_port)),
-             t3 + hop_latency, pb.freeAt());
-    const sim::Tick t4 = pb.serve(t3 + hop_latency, len);
+             a4, pb.freeAt());
+    const sim::Tick t4 = pb.serve(a4, len);
     if (tracer_)
         tracer_->flowStage(
             flow, obs::FlowStage::ret, t4,
             static_cast<std::int32_t>(cluster * cesPerCluster_ +
                                       static_cast<unsigned>(ce_port)),
             len);
-    return t4 + hop_latency;
+    return sim::satAdd(t4, hop_latency);
 }
 
 XferResult
@@ -118,7 +126,8 @@ Network::chunkAccess(sim::Tick when, sim::ClusterId cluster, int ce_port,
 
     const unsigned group = gmem_.map().group(chunk.addr);
     const sim::Tick t2 = forwardPath(when, cluster, group, chunk.len, flow);
-    const auto mem = gmem_.accessChunk(t2 + hop_latency, chunk, flow);
+    const auto mem =
+        gmem_.accessChunk(sim::satAdd(t2, hop_latency), chunk, flow);
 
     XferResult res;
     res.unloaded = unloadedLatency(chunk.len, false);
@@ -133,6 +142,127 @@ Network::chunkAccess(sim::Tick when, sim::ClusterId cluster, int ce_port,
 }
 
 XferResult
+Network::burst(sim::Tick start, sim::ClusterId cluster, int ce_port,
+               sim::Addr addr, unsigned words, std::uint32_t flow)
+{
+    checkCluster(cluster, nClusters_);
+
+    if (fastEligible(flow)) {
+        if (const BurstPattern *p =
+                fastReplay(start, cluster, ce_port,
+                           gmem_.map().module(addr), words,
+                           /*is_rmw=*/false)) {
+            ++fastStats_.fastBursts;
+            XferResult out;
+            out.complete = start + p->relComplete;
+            out.unloaded = words + unloadedLatency(p->lastLen, false);
+            return out;
+        }
+    }
+    ++fastStats_.slowBursts;
+
+    sim::Tick issue = start;
+    sim::Tick complete = start;
+    sim::Tick unloaded_last = 0;
+    unsigned issued = 0;
+    gmem_.map().forEachChunk(addr, words, [&](const mem::Chunk &chunk) {
+        const auto res = chunkAccess(issue, cluster, ce_port, chunk, flow);
+        complete = std::max(complete, res.complete);
+        unloaded_last = res.unloaded;
+        issued += chunk.len;
+        // The CE issues the stream pipelined at one word per cycle.
+        issue = sim::satAdd(start, issued);
+    });
+
+    XferResult res;
+    res.complete = complete;
+    // Zero-contention duration of the same stream: pipeline fill of
+    // all but the last chunk, plus the last chunk's full latency.
+    res.unloaded = (issue - start) + unloaded_last;
+    return res;
+}
+
+bool
+Network::fastEligible(std::uint32_t flow) const
+{
+    // The pattern replay is only legal when (a) the toggle is on,
+    // (b) nobody watches individual flow milestones (a live flow id
+    // means a timeline subscriber expects per-stage events), (c) no
+    // fault plan touches the memory — fault windows break the
+    // translation invariance — and (d) the telemetry this access
+    // would publish is exactly "MetricsHub absorbs every
+    // resource_wait", which recordWaits reproduces in batch. The
+    // memory must publish through the same tracer; otherwise the
+    // slow path's module waits would go elsewhere.
+    if (!fastPath_ || flow != 0 || gmem_.hasFaults())
+        return false;
+    if (gmem_.tracerPtr() != tracer_)
+        return false;
+    if (tracer_ == nullptr)
+        return true; // the slow path publishes nothing either
+    return hub_ != nullptr &&
+           tracer_->bus().soleSubscriber(obs::EventKind::resource_wait) ==
+               hub_;
+}
+
+sim::FifoServer &
+Network::fastServer(FastBank bank, std::uint32_t idx,
+                    sim::ClusterId cluster, int ce_port)
+{
+    switch (bank) {
+    case FastBank::stage1:
+        return stage1_[cluster].port(idx);
+    case FastBank::stage2:
+        return stage2In_[idx].port(cluster);
+    case FastBank::returnA:
+        return returnA_[idx].port(cluster);
+    case FastBank::returnB:
+        return returnB_[cluster].port(ce_port);
+    case FastBank::module:
+    default:
+        return gmem_.moduleServerMut(idx);
+    }
+}
+
+const BurstPattern *
+Network::fastReplay(sim::Tick start, sim::ClusterId cluster, int ce_port,
+                    unsigned first_module, unsigned words, bool is_rmw)
+{
+    ShapeInfo &sh = cache_.shape(first_module, words, is_rmw);
+
+    // The replay key: every touched server's free horizon relative
+    // to this access's start. An exact match means the pattern's
+    // scratch replay saw precisely this queue state, so every serve
+    // start, wait and updated horizon — including the access's
+    // self-queueing — is the recorded one shifted by start.
+    offsetScratch_.clear();
+    for (const ServerRef &r : sh.servers) {
+        const sim::Tick f =
+            fastServer(r.bank, r.idx, cluster, ce_port).freeAt();
+        offsetScratch_.push_back(f > start ? f - start : 0);
+    }
+
+    const BurstPattern *p = cache_.pattern(sh, offsetScratch_);
+    if (p == nullptr)
+        return nullptr;
+
+    // Near the tick ceiling the slow path's overflow throw applies.
+    if (p->relComplete > sim::max_tick - start)
+        return nullptr;
+
+    for (const auto &e : p->servers)
+        fastServer(e.bank, e.idx, cluster, ce_port)
+            .applyBatch(e.requests, e.waitSum, e.busySum,
+                        start + e.freeAt);
+
+    if (tracer_ != nullptr)
+        for (const auto &w : p->waits)
+            hub_->recordWaits(w.cls, w.wait, w.count);
+
+    return p;
+}
+
+XferResult
 Network::rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
              sim::Addr addr,
              const std::function<std::uint64_t(std::uint64_t)> &f,
@@ -140,11 +270,29 @@ Network::rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
 {
     checkCluster(cluster, nClusters_);
 
+    if (fastEligible(flow)) {
+        if (const BurstPattern *p =
+                fastReplay(when, cluster, ce_port,
+                           gmem_.map().module(addr), 1,
+                           /*is_rmw=*/true)) {
+            ++fastStats_.fastRmws;
+            XferResult out;
+            out.complete = when + p->relComplete;
+            out.unloaded = unloadedLatency(1, true);
+            // The value mutation the skipped module serve would have
+            // applied, in the same (synchronous) serialisation order.
+            out.oldValue = gmem_.forceRmw(addr, f);
+            return out;
+        }
+    }
+    ++fastStats_.slowRmws;
+
     const unsigned group = gmem_.map().group(addr);
     const sim::Tick t2 = forwardPath(when, cluster, group, 1, flow);
 
     std::uint64_t old = 0;
-    const auto mem = gmem_.rmw(t2 + hop_latency, addr, f, &old, flow);
+    const auto mem =
+        gmem_.rmw(sim::satAdd(t2, hop_latency), addr, f, &old, flow);
 
     XferResult res;
     res.unloaded = unloadedLatency(1, true);

@@ -28,12 +28,14 @@
 
 #include "mem/global_memory.hh"
 #include "net/crossbar.hh"
+#include "net/fastpath.hh"
 #include "obs/resource.hh"
 #include "sim/types.hh"
 
 namespace cedar::obs
 {
 class Tracer;
+class MetricsHub;
 }
 
 namespace cedar::net
@@ -68,6 +70,19 @@ struct PortSite
     unsigned portIdx;
 };
 
+/** How often the analytic fast path fired vs fell back; purely
+ *  informational (bench reporting, test assertions). */
+struct FastPathStats
+{
+    std::uint64_t fastBursts = 0; //!< bursts replayed from a pattern
+    std::uint64_t slowBursts = 0; //!< bursts through the chunk loop
+    std::uint64_t fastRmws = 0;   //!< RMWs replayed from a pattern
+    std::uint64_t slowRmws = 0;   //!< RMWs through the serve loop
+
+    std::uint64_t hits() const { return fastBursts + fastRmws; }
+    std::uint64_t misses() const { return slowBursts + slowRmws; }
+};
+
 /**
  * The network plus the memory behind it; the single entry point the
  * CE's global interface uses for all global-memory traffic.
@@ -95,6 +110,38 @@ class Network
 
     /** Attach the telemetry tracer (queueing waits, flow stages). */
     void setTracer(obs::Tracer *t) { tracer_ = t; }
+
+    /** Attach the hub that receives batched resource_wait updates
+     *  when the fast path replays a pattern. The fast path only
+     *  fires when this hub is provably the bus's sole resource_wait
+     *  subscriber (TelemetryBus::soleSubscriber). */
+    void setMetricsHub(obs::MetricsHub *hub) { hub_ = hub; }
+
+    /** Enable/disable the analytic fast path (RunOptions::fastPath,
+     *  `cedar_cli --no-fast-path`). Results are bit-identical either
+     *  way; the toggle exists for A/B timing and debugging. */
+    void setFastPath(bool on) { fastPath_ = on; }
+    bool fastPathEnabled() const { return fastPath_; }
+
+    /** Fast-path hit/miss counters (informational). */
+    const FastPathStats &fastStats() const { return fastStats_; }
+
+    /** Distinct (shape, offset-vector) patterns learned so far. */
+    std::uint64_t fastPatterns() const { return cache_.patternsBuilt(); }
+
+    /**
+     * Stream @p words consecutive double-words starting at @p addr
+     * through the network as one pipelined burst issued at @p start
+     * (chunks issue at one word per cycle). This is the CE's burst
+     * entry point; it dispatches to the analytic fast path when the
+     * touched servers' queue state matches a learned pattern, and
+     * otherwise reserves chunk by chunk exactly as before.
+     * complete == sim::max_tick when a dead module swallowed part of
+     * the stream.
+     */
+    XferResult burst(sim::Tick start, sim::ClusterId cluster, int ce_port,
+                     sim::Addr addr, unsigned words,
+                     std::uint32_t flow = 0);
 
     /**
      * Transfer one chunk (<= one module-group span) between a CE and
@@ -172,6 +219,10 @@ class Network
     unsigned cesPerCluster_;
     mem::GlobalMemory &gmem_;
     obs::Tracer *tracer_ = nullptr;
+    obs::MetricsHub *hub_ = nullptr;
+    bool fastPath_ = true;
+    BurstPatternCache cache_;
+    FastPathStats fastStats_;
 
     /** Per cluster: output ports, one per stage-2 switch. */
     std::vector<Crossbar> stage1_;
@@ -193,6 +244,30 @@ class Network
     sim::Tick returnPath(sim::Tick when, sim::ClusterId cluster,
                          int ce_port, unsigned group, unsigned len,
                          std::uint32_t flow);
+
+    // ----- analytic fast path (see net/fastpath.hh) -----
+
+    /** May the fast path even be attempted for this access? */
+    bool fastEligible(std::uint32_t flow) const;
+
+    /** Resolve a position-free bank/index pair to the live server it
+     *  stands for, given the issuing cluster and CE port. */
+    sim::FifoServer &fastServer(FastBank bank, std::uint32_t idx,
+                                sim::ClusterId cluster, int ce_port);
+
+    /** Gather the touched servers' relative free-horizon offsets,
+     *  look up (building on first sight) the matching pattern, and
+     *  apply it: batched server statistics, batched telemetry, and
+     *  the returned timing are bit-identical to the slow path.
+     *  nullptr means "take the slow path" (pattern store capped, an
+     *  offset out of range, or too close to the tick ceiling). */
+    const BurstPattern *fastReplay(sim::Tick start,
+                                   sim::ClusterId cluster, int ce_port,
+                                   unsigned first_module, unsigned words,
+                                   bool is_rmw);
+
+    /** Reused offset-gather buffer (single-threaded per Machine). */
+    std::vector<sim::Tick> offsetScratch_;
 };
 
 } // namespace cedar::net

@@ -136,6 +136,20 @@ class TelemetryBus
         return !subs_[static_cast<std::size_t>(k)].empty();
     }
 
+    /**
+     * The single sink subscribed to @p k, or nullptr when there are
+     * zero or several. The analytic fast path batches resource_wait
+     * deliveries only when the MetricsHub is provably the sole
+     * observer — any extra subscriber forces the event-by-event slow
+     * path so it sees exactly what it would have seen.
+     */
+    TelemetrySink *
+    soleSubscriber(EventKind k) const
+    {
+        const auto &v = subs_[static_cast<std::size_t>(k)];
+        return v.size() == 1 ? v.front() : nullptr;
+    }
+
     /** Deliver @p e to every sink subscribed to its kind. */
     void
     publish(const TelemetryEvent &e) const
@@ -172,6 +186,23 @@ class MetricsHub : public TelemetrySink
         hists_.perClass[c].sample(e.dur);
         classWait_[c] += e.dur;
         ++classRequests_[c];
+    }
+
+    /**
+     * Batched delivery: @p count resource_wait events of @p wait
+     * ticks each at class @p cls, exactly as if that many events had
+     * arrived through onTelemetry (which ignores the event's origin
+     * fields). The analytic fast path calls this after replaying a
+     * reservation pattern; per-class histograms, wait totals and
+     * request counts end up bit-identical to the slow path.
+     */
+    void
+    recordWaits(ResourceClass cls, sim::Tick wait, std::uint64_t count)
+    {
+        const auto c = static_cast<std::size_t>(cls);
+        hists_.perClass[c].sampleN(wait, count);
+        classWait_[c] += wait * count;
+        classRequests_[c] += count;
     }
 
     const WaitHistograms &hists() const { return hists_; }

@@ -34,6 +34,12 @@ class Tracer
 
     TelemetryBus &bus() const { return *bus_; }
 
+    /** Register the machine's MetricsHub so resourceWait() can hand
+     *  it waits directly (devirtualized) whenever it is provably the
+     *  bus's sole resource_wait subscriber. Purely an optimisation:
+     *  the hub's state ends up bit-identical either way. */
+    void setMetricsHub(MetricsHub *hub) { hub_ = hub; }
+
     /** True when some sink subscribed to spans — producers may use
      *  this to skip begin-time bookkeeping entirely. */
     bool spansWanted() const
@@ -156,6 +162,16 @@ class Tracer
     resourceWait(ResourceClass cls, std::int32_t res, sim::Tick when,
                  sim::Tick wait)
     {
+        // Hot path: one resource_wait per streamed word. When the
+        // MetricsHub is the only subscriber (the standard machine
+        // wiring), skip the event build + bus dispatch + virtual
+        // call; onTelemetry ignores when/res, so recordWaits'
+        // outcome is identical by construction.
+        if (hub_ != nullptr &&
+            bus_->soleSubscriber(EventKind::resource_wait) == hub_) {
+            hub_->recordWaits(cls, wait, 1);
+            return;
+        }
         if (!bus_->wants(EventKind::resource_wait))
             return;
         TelemetryEvent e;
@@ -197,6 +213,7 @@ class Tracer
     }
 
     TelemetryBus *bus_;
+    MetricsHub *hub_ = nullptr;
     std::uint32_t lastFlow_ = 0;
     bool closed_ = false;
     sim::Tick closedAt_ = 0;

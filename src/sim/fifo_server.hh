@@ -66,6 +66,30 @@ class FifoServer
     /** Next tick at which the server is free. */
     Tick freeAt() const { return freeAt_; }
 
+    /**
+     * Idle-window query: true when a request arriving at @p t would
+     * start service immediately (no queueing). The analytic fast
+     * path uses this to decide whether a precomputed reservation
+     * pattern may be replayed onto this server.
+     */
+    bool idleAt(Tick t) const { return freeAt_ <= t; }
+
+    /**
+     * Replay @p n reservations whose outcome was computed
+     * analytically: bump the statistics by the precomputed sums and
+     * move the free horizon to @p new_free_at. Only valid when the
+     * sums were produced by the exact serve() sequence being skipped
+     * (see net::BurstPatternCache) — the server state afterwards is
+     * bit-identical to having executed it.
+     */
+    void
+    applyBatch(std::uint64_t n, Tick wait_sum, Tick busy_sum,
+               Tick new_free_at)
+    {
+        stats_.recordBulk(n, wait_sum, busy_sum);
+        freeAt_ = new_free_at;
+    }
+
     /** Cumulative queueing/busy statistics. */
     const ServerStats &stats() const { return stats_; }
 

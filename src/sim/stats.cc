@@ -9,17 +9,9 @@ namespace cedar::sim
 Histogram::Histogram(Tick bucket_width, std::size_t n)
     : width_(bucket_width ? bucket_width : 1), buckets_(n ? n : 1, 0)
 {
-}
-
-void
-Histogram::sample(Tick v)
-{
-    std::size_t idx = static_cast<std::size_t>(v / width_);
-    if (idx >= buckets_.size())
-        idx = buckets_.size() - 1;
-    ++buckets_[idx];
-    ++count_;
-    max_ = std::max(max_, v);
+    if ((width_ & (width_ - 1)) == 0)
+        while ((Tick(1) << shift_) < width_)
+            ++shift_;
 }
 
 Tick

@@ -71,6 +71,20 @@ class ServerStats
         busyTicks_ += service;
     }
 
+    /**
+     * Record @p n requests at once with their precomputed wait and
+     * busy totals — the fast-path batched equivalent of @p n record()
+     * calls, used when an analytically replayed reservation pattern
+     * is applied to a server in one step.
+     */
+    void
+    recordBulk(std::uint64_t n, Tick wait_sum, Tick busy_sum)
+    {
+        requests_ += n;
+        waitTicks_ += wait_sum;
+        busyTicks_ += busy_sum;
+    }
+
     std::uint64_t requests() const { return requests_; }
     Tick waitTicks() const { return waitTicks_; }
     Tick busyTicks() const { return busyTicks_; }
@@ -108,7 +122,28 @@ class Histogram
     /** @param bucket_width width of each bucket; @param n buckets. */
     explicit Histogram(Tick bucket_width = 16, std::size_t n = 64);
 
-    void sample(Tick v);
+    /** Inline: this sits on the per-request telemetry hot path. */
+    void
+    sample(Tick v)
+    {
+        std::size_t idx = bucketIndex(v);
+        ++buckets_[idx];
+        ++count_;
+        max_ = std::max(max_, v);
+    }
+
+    /** @p n samples of the same value in one step (fast-path batch);
+     *  bit-identical to calling sample(@p v) @p n times. */
+    void
+    sampleN(Tick v, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        std::size_t idx = bucketIndex(v);
+        buckets_[idx] += n;
+        count_ += n;
+        max_ = std::max(max_, v);
+    }
 
     std::uint64_t count() const { return count_; }
     Tick maxSample() const { return max_; }
@@ -121,7 +156,20 @@ class Histogram
     std::string toString() const;
 
   private:
+    /** Power-of-two widths (the common case) bucket by shift; the
+     *  division only survives for odd widths. */
+    std::size_t
+    bucketIndex(Tick v) const
+    {
+        std::size_t idx = static_cast<std::size_t>(
+            shift_ != 0 || width_ == 1 ? v >> shift_ : v / width_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        return idx;
+    }
+
     Tick width_;
+    unsigned shift_ = 0;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
     Tick max_ = 0;

@@ -26,6 +26,36 @@ inline constexpr Tick max_tick = ~Tick(0);
 /** Default model clock: 20 MHz, i.e. 50 ns per tick. */
 inline constexpr double default_clock_hz = 20e6;
 
+/**
+ * Saturating Tick addition: clamps at max_tick instead of wrapping.
+ * Latency compositions (hop + service + hop ...) and retry-backoff
+ * waits use this so arithmetic near the tick ceiling stays defined;
+ * downstream consumers (FifoServer::serve, EventQueue::schedule)
+ * treat a saturated operand as the overflow it represents and throw.
+ */
+inline constexpr Tick
+satAdd(Tick a, Tick b)
+{
+    return b > max_tick - a ? max_tick : a + b;
+}
+
+/**
+ * Saturating Tick left-shift: `v << s` with the shift clamped so it
+ * is never undefined behaviour (s >= 64) and the result saturates at
+ * max_tick instead of silently dropping high bits. The exponential
+ * retry backoff in hw::Ce grows its shift with the attempt count and
+ * must stay defined for any attempt.
+ */
+inline constexpr Tick
+satShl(Tick v, unsigned s)
+{
+    if (v == 0)
+        return 0;
+    if (s >= 64 || v > (max_tick >> s))
+        return max_tick;
+    return v << s;
+}
+
 /** Convert a tick count into model seconds at a given clock. */
 inline double
 ticksToSeconds(Tick t, double clock_hz = default_clock_hz)

@@ -103,7 +103,7 @@ usage()
         << "usage:\n"
            "  cedar_cli run      <app> <procs> [--seed N] [--scale F]\n"
            "                     [--prefetch] [--pickup-block N]\n"
-           "                     [--ctx-coop] [--fuse]\n"
+           "                     [--ctx-coop] [--fuse] [--no-fast-path]\n"
            "                     [--inject SPEC]... [--gm-timeout N]\n"
            "                     [--gm-retries N] [--gm-backoff N]\n"
            "                     [--watchdog-events N]\n"
@@ -282,6 +282,8 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
             f.prefetch = true;
         } else if (a == "--ctx-coop") {
             f.opts.ctxRtlCoop = true;
+        } else if (a == "--no-fast-path") {
+            f.opts.fastPath = false;
         } else if (a == "--fuse") {
             f.fuse = true;
         } else {
