@@ -46,6 +46,18 @@
  * workload the optimisation targets. ADM is recorded but not
  * guarded: it is event-machinery-bound, not network-bound, so its
  * fast-path gain is structurally modest.
+ *
+ * An allocation leg runs ADM on 8 processors — the workload whose
+ * cost is almost entirely event machinery — once cold and then
+ * repeatedly warm, reading the continuation-arena counters
+ * (EventQueue::allocStats) around each run. The cold run is allowed
+ * to populate the arena's free lists; warm runs of the same
+ * deterministic workload must then be served from the pool, and the
+ * harness fails (exit 3) when fresh heap allocations per event
+ * exceed a thin epsilon. Unlike the wall-time guards this one is
+ * exact and deterministic, so it is enforced at any --repeat. The
+ * leg's warm wall times (medians, like every other timing) double
+ * as the steady-state ADM throughput record.
  */
 
 #include <algorithm>
@@ -61,6 +73,7 @@
 #include "core/experiment.hh"
 #include "core/parallel.hh"
 #include "harness.hh"
+#include "sim/event_queue.hh"
 
 using namespace cedar;
 using Clock = std::chrono::steady_clock;
@@ -231,6 +244,76 @@ timeFastPath(const std::string &name, const core::RunOptions &opts,
     return f;
 }
 
+/** The allocation leg: ADM steady state must be heap-free. */
+struct AllocPerf
+{
+    std::string app = "ADM";
+    unsigned procs = 8;
+    unsigned warmRuns = 0;
+    std::uint64_t events = 0;         //!< DES events per run
+    std::uint64_t coldHeapAllocs = 0; //!< fresh blocks, first run
+    std::uint64_t warmHeapAllocs = 0; //!< worst fresh blocks, warm run
+    std::uint64_t warmPoolReuses = 0; //!< pool-served, last warm run
+    double warmWallSec = 0;           //!< median warm wall time
+
+    double
+    warmAllocsPerEvent() const
+    {
+        return events > 0 ? static_cast<double>(warmHeapAllocs) /
+                                static_cast<double>(events)
+                          : 0.0;
+    }
+    double
+    warmEventsPerSec() const
+    {
+        return warmWallSec > 0
+                   ? static_cast<double>(events) / warmWallSec
+                   : 0.0;
+    }
+};
+
+/**
+ * Max tolerated fresh heap allocations per event in a warm run.
+ * The design target is exactly zero (every continuation lives inline
+ * or in a recycled arena block); the epsilon leaves room for
+ * one-shot growth outside the arena's control (a std::vector inside
+ * the model crossing a capacity threshold it didn't hit in the cold
+ * run) without letting a per-event allocation regression — ~1 per
+ * event before this PR — anywhere near passing.
+ */
+constexpr double alloc_guard_max_per_event = 0.01;
+
+AllocPerf
+timeAllocs(const core::RunOptions &opts, unsigned repeat)
+{
+    AllocPerf a;
+    a.warmRuns = std::max(repeat, 2u);
+    const auto app = apps::perfectAppByName(a.app);
+    const auto cfg = hw::CedarConfig::withProcs(a.procs);
+
+    // Cold run: populates the arena free lists (and is the run the
+    // alloc counters exist to make visible).
+    const auto c0 = sim::EventQueue::allocStats();
+    auto res = core::runExperiment(app, cfg, opts);
+    const auto c1 = sim::EventQueue::allocStats();
+    a.coldHeapAllocs = c1.heapAllocs - c0.heapAllocs;
+    a.events = res.eventsExecuted;
+
+    std::vector<double> walls;
+    for (unsigned r = 0; r < a.warmRuns; ++r) {
+        const auto w0 = sim::EventQueue::allocStats();
+        const auto t0 = Clock::now();
+        res = core::runExperiment(app, cfg, opts);
+        walls.push_back(secondsSince(t0));
+        const auto w1 = sim::EventQueue::allocStats();
+        a.warmHeapAllocs =
+            std::max(a.warmHeapAllocs, w1.heapAllocs - w0.heapAllocs);
+        a.warmPoolReuses = w1.poolReuses - w0.poolReuses;
+    }
+    a.warmWallSec = median(std::move(walls));
+    return a;
+}
+
 AppPerf
 timeSweep(const apps::AppModel &app, const core::RunOptions &opts,
           unsigned jobs, unsigned repeat)
@@ -268,12 +351,15 @@ timeSweep(const apps::AppModel &app, const core::RunOptions &opts,
 void
 writeJson(std::ostream &os, const std::vector<AppPerf> &apps,
           const TracingPerf &tracing,
-          const std::vector<FastPathPerf> &fastpath, unsigned jobs,
-          double scale, unsigned repeat, double total_wall)
+          const std::vector<FastPathPerf> &fastpath,
+          const AllocPerf &allocs, unsigned jobs, double scale,
+          unsigned repeat, double total_wall)
 {
     tools::JsonWriter j(os);
     j.beginObject();
-    j.field("schema", "cedar-bench-sweep-v1");
+    // v2 added the "allocs" section; readers of the v1 sections
+    // (apps/tracing/fast_path) are unaffected.
+    j.field("schema", "cedar-bench-sweep-v2");
     j.field("jobs", jobs == 0 ? core::defaultJobs() : jobs);
     j.field("scale", scale);
     j.field("repeat", repeat);
@@ -352,6 +438,22 @@ writeJson(std::ostream &os, const std::vector<AppPerf> &apps,
         j.endObject();
     }
     j.endArray();
+
+    j.key("allocs").beginObject();
+    j.field("app", allocs.app);
+    j.field("procs", allocs.procs);
+    j.field("warm_runs", allocs.warmRuns);
+    j.field("events", allocs.events);
+    j.field("cold_heap_allocs", allocs.coldHeapAllocs);
+    j.field("warm_heap_allocs", allocs.warmHeapAllocs);
+    j.field("warm_pool_reuses", allocs.warmPoolReuses);
+    j.field("warm_allocs_per_event", allocs.warmAllocsPerEvent());
+    j.field("warm_wall_s", allocs.warmWallSec);
+    j.field("warm_events_per_sec", allocs.warmEventsPerSec());
+    j.field("guard_max_allocs_per_event", alloc_guard_max_per_event);
+    j.field("guard_ok",
+            allocs.warmAllocsPerEvent() <= alloc_guard_max_per_event);
+    j.endObject();
     j.endObject();
 }
 
@@ -454,13 +556,23 @@ main(int argc, char **argv)
                       << fp.slowWallSec << " s (" << fp.speedup()
                       << "x, " << fp.fastHits << " hits, "
                       << fp.fastPatterns << " patterns)\n";
+        const AllocPerf allocs = timeAllocs(opts, repeat);
+        std::cout << "allocs (" << allocs.app << " " << allocs.procs
+                  << "p): cold " << allocs.coldHeapAllocs
+                  << " heap allocs, warm " << allocs.warmHeapAllocs
+                  << " over " << allocs.events << " events ("
+                  << allocs.warmAllocsPerEvent() << "/event, "
+                  << allocs.warmPoolReuses << " pool reuses, "
+                  << static_cast<std::uint64_t>(
+                         allocs.warmEventsPerSec())
+                  << " ev/s warm)\n";
         const double total = secondsSince(t0);
 
         std::ofstream f(out);
         if (!f)
             throw std::runtime_error("cannot write " + out);
-        writeJson(f, perfs, tracing, fastpath, jobs, scale, repeat,
-                  total);
+        writeJson(f, perfs, tracing, fastpath, allocs, jobs, scale,
+                  repeat, total);
         std::cout << "wrote " << out << " (" << total
                   << " s total)\n";
 
@@ -481,6 +593,17 @@ main(int argc, char **argv)
                       << "x the slow path on " << fp.app << " "
                       << fp.procs << "p (guard: "
                       << fast_path_guard_min_speedup << "x)\n";
+            return 3;
+        }
+        // Exact and deterministic, so enforced at any --repeat.
+        if (allocs.warmAllocsPerEvent() > alloc_guard_max_per_event) {
+            std::cerr << "error: warm " << allocs.app << " "
+                      << allocs.procs << "p run took "
+                      << allocs.warmHeapAllocs
+                      << " fresh continuation heap allocations ("
+                      << allocs.warmAllocsPerEvent()
+                      << "/event; guard: "
+                      << alloc_guard_max_per_event << ")\n";
             return 3;
         }
     } catch (const std::exception &e) {

@@ -1,6 +1,7 @@
 #include "hw/ce.hh"
 
 #include <cassert>
+#include <memory>
 
 #include "fault/fault.hh"
 #include "hpm/trace.hh"
@@ -40,27 +41,55 @@ Ce::finishOp(sim::Tick completion, sim::Cont k)
 {
     assert(!busy_ && "CE already has an outstanding primitive");
     assert(!waiting_ && "CE cannot start a primitive while waiting");
+    assert(!pendingK_ && !pendingVal_);
     const bool was = active();
     busy_ = true;
     noteStateChange(was);
-    eq_.schedule(completion, [this, k = std::move(k)] { opDone(k); });
+    // Park the continuation in the CE; the completion event is a
+    // bare [this] that fits any inline buffer. One outstanding
+    // primitive per CE makes the slot race-free by construction.
+    pendingK_ = std::move(k);
+    eq_.schedule(completion, [this] { opDone(); });
 }
 
 void
-Ce::opDone(sim::Cont k)
+Ce::finishOpVal(sim::Tick completion, ValCont k, std::uint64_t v)
+{
+    assert(!busy_ && "CE already has an outstanding primitive");
+    assert(!waiting_ && "CE cannot start a primitive while waiting");
+    assert(!pendingK_ && !pendingVal_);
+    const bool was = active();
+    busy_ = true;
+    noteStateChange(was);
+    pendingVal_ = std::move(k);
+    pendingValArg_ = v;
+    eq_.schedule(completion, [this] { opDone(); });
+}
+
+void
+Ce::opDone()
 {
     if (penalty_ > 0) {
         // Interrupts arrived during the op: elongate it. The time
-        // was already accounted by chargeInterrupt().
+        // was already accounted by chargeInterrupt(); the pending
+        // slot stays parked across the extension.
         const sim::Tick p = penalty_;
         penalty_ = 0;
-        eq_.scheduleIn(p, [this, k = std::move(k)] { opDone(k); });
+        eq_.scheduleIn(p, [this] { opDone(); });
         return;
     }
     const bool was = active();
     busy_ = false;
     noteStateChange(was);
-    k();
+    // Move the continuation out before invoking: it may immediately
+    // start the next primitive and re-park the slot.
+    if (pendingVal_) {
+        ValCont k = std::move(pendingVal_);
+        k(pendingValArg_);
+    } else {
+        sim::Cont k = std::move(pendingK_);
+        k();
+    }
 }
 
 void
@@ -108,14 +137,17 @@ Ce::issueGlobal(sim::Addr addr, unsigned words, os::UserAct act,
     if (t.complete == sim::max_tick) {
         if (tracer_)
             tracer_->flowEnd(t.flow, static_cast<int>(id_), eq_.now());
+        // Retry and fallback share ownership of k; exactly one of
+        // them ever runs, so moving out of the shared slot is safe.
+        auto ks = std::make_shared<sim::Cont>(std::move(k));
         faultedAccess(
             addr, act, attempt,
-            [this, addr, words, act, k](unsigned next) {
-                issueGlobal(addr, words, act, next, k);
+            [this, addr, words, act, ks](unsigned next) {
+                issueGlobal(addr, words, act, next, std::move(*ks));
             },
             // Fallback: the data words carry no simulated values;
             // the access simply completes (its cost was the waits).
-            [this, k] { finishOp(eq_.now(), k); });
+            [this, ks] { finishOp(eq_.now(), std::move(*ks)); });
         return;
     }
 
@@ -152,19 +184,20 @@ Ce::issuePrefetch(sim::Tick n, sim::Addr addr, unsigned words,
     if (t.complete == sim::max_tick) {
         if (tracer_)
             tracer_->flowEnd(t.flow, static_cast<int>(id_), eq_.now());
+        auto ks = std::make_shared<sim::Cont>(std::move(k));
         faultedAccess(
             addr, act, attempt,
-            [this, n, addr, words, act, k](unsigned next) {
-                issuePrefetch(n, addr, words, act, next, k);
+            [this, n, addr, words, act, ks](unsigned next) {
+                issuePrefetch(n, addr, words, act, next, std::move(*ks));
             },
             // Fallback: only the (already accounted) computation
             // remains; the stream is written off.
-            [this, n, act, k] {
+            [this, n, act, ks] {
                 acct_.addUser(id_, act, n);
                 if (tracer_)
                     tracer_->userSpan(static_cast<int>(id_), act,
                                       eq_.now(), n);
-                finishOp(eq_.now() + n, k);
+                finishOp(eq_.now() + n, std::move(*ks));
             });
         return;
     }
@@ -186,15 +219,14 @@ Ce::issuePrefetch(sim::Tick n, sim::Addr addr, unsigned words,
 }
 
 void
-Ce::globalRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
-              const ValCont &k)
+Ce::globalRmw(sim::Addr addr, RmwFn f, os::UserAct act, ValCont k)
 {
-    issueRmw(addr, f, act, 0, k);
+    issueRmw(addr, std::move(f), act, 0, std::move(k));
 }
 
 void
-Ce::issueRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
-             unsigned attempt, const ValCont &k)
+Ce::issueRmw(sim::Addr addr, RmwFn f, os::UserAct act,
+             unsigned attempt, ValCont k)
 {
     const sim::Tick start = eq_.now();
     const std::uint32_t flow =
@@ -209,17 +241,20 @@ Ce::issueRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
             tracer_->flowEnd(flow, static_cast<int>(id_), eq_.now());
         // The dead module did not apply the mutation, so a retry
         // cannot double-apply it.
+        auto fs = std::make_shared<RmwFn>(std::move(f));
+        auto ks = std::make_shared<ValCont>(std::move(k));
         faultedAccess(
             addr, act, attempt,
-            [this, addr, f, act, k](unsigned next) {
-                issueRmw(addr, f, act, next, k);
+            [this, addr, fs, act, ks](unsigned next) {
+                issueRmw(addr, std::move(*fs), act, next,
+                         std::move(*ks));
             },
             // Fallback: the OS services the atomic through its
             // software path so the program's synchronisation state
             // stays consistent; the cost was the accumulated waits.
-            [this, addr, f, k] {
-                const std::uint64_t old = net_.forceRmw(addr, f);
-                finishOp(eq_.now(), [k, old] { k(old); });
+            [this, addr, fs, ks] {
+                const std::uint64_t old = net_.forceRmw(addr, *fs);
+                finishOpVal(eq_.now(), std::move(*ks), old);
             });
         return;
     }
@@ -233,14 +268,13 @@ Ce::issueRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
         tracer_->userSpan(static_cast<int>(id_), act, start, duration);
         tracer_->flowEnd(flow, static_cast<int>(id_), res.complete);
     }
-    const std::uint64_t old = res.oldValue;
-    finishOp(res.complete, [k, old] { k(old); });
+    finishOpVal(res.complete, std::move(k), res.oldValue);
 }
 
 void
 Ce::faultedAccess(sim::Addr addr, os::UserAct act, unsigned attempt,
-                  const std::function<void(unsigned)> &retry,
-                  const sim::Cont &fallback)
+                  sim::SmallFn<void(unsigned)> retry,
+                  sim::Cont fallback)
 {
     if (costs_.gm_timeout == 0) {
         // No timeout path: the CE hangs on the bus, exactly as the
@@ -272,7 +306,10 @@ Ce::faultedAccess(sim::Addr addr, os::UserAct act, unsigned attempt,
     acct_.addUser(id_, act, wait);
     if (tracer_)
         tracer_->userSpan(static_cast<int>(id_), act, eq_.now(), wait);
-    finishOp(eq_.now() + wait, [retry, attempt] { retry(attempt + 1); });
+    finishOp(eq_.now() + wait,
+             [retry = std::move(retry), attempt]() mutable {
+                 retry(attempt + 1);
+             });
 }
 
 void

@@ -21,7 +21,6 @@
 #define CEDAR_HW_CE_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "hw/config.hh"
 #include "net/network.hh"
@@ -52,8 +51,8 @@ namespace cedar::hw
 class Ce
 {
   public:
-    using RmwFn = std::function<std::uint64_t(std::uint64_t)>;
-    using ValCont = std::function<void(std::uint64_t)>;
+    using RmwFn = sim::RmwFn;
+    using ValCont = sim::ValCont;
 
     Ce(sim::EventQueue &eq, net::Network &net, os::Accounting &acct,
        hpm::Trace &trace, const CostModel &costs, sim::CeId id,
@@ -120,8 +119,7 @@ class Ce
                              os::UserAct act, sim::Cont k);
 
     /** Atomic read-modify-write of one global word. */
-    void globalRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
-                   const ValCont &k);
+    void globalRmw(sim::Addr addr, RmwFn f, os::UserAct act, ValCont k);
 
     /** Kernel-mode computation on this CE (system/interrupt time). */
     void osCompute(sim::Tick n, os::TimeCat cat, os::OsAct act,
@@ -195,8 +193,20 @@ class Ce
     /** Reserve a pipelined chunk stream through the network. */
     BurstTiming reserveBurst(sim::Addr addr, unsigned words);
 
+    /**
+     * Occupy the CE until @p completion, then invoke @p k. The
+     * continuation parks in the CE's own pending slot (legal because
+     * a CE has at most one outstanding primitive) so the scheduled
+     * completion event captures only `this` — the per-event
+     * continuation hand-off costs no allocation regardless of how
+     * big @p k's capture is.
+     */
     void finishOp(sim::Tick completion, sim::Cont k);
-    void opDone(sim::Cont k);
+
+    /** finishOp for value-carrying completions: invoke k(v). */
+    void finishOpVal(sim::Tick completion, ValCont k, std::uint64_t v);
+
+    void opDone();
 
     // ----- dead-module handling (see docs/FAULTS.md) -----
 
@@ -204,8 +214,8 @@ class Ce
                      unsigned attempt, sim::Cont k);
     void issuePrefetch(sim::Tick n, sim::Addr addr, unsigned words,
                        os::UserAct act, unsigned attempt, sim::Cont k);
-    void issueRmw(sim::Addr addr, const RmwFn &f, os::UserAct act,
-                  unsigned attempt, const ValCont &k);
+    void issueRmw(sim::Addr addr, RmwFn f, os::UserAct act,
+                  unsigned attempt, ValCont k);
 
     /**
      * React to an access whose completion came back as the
@@ -215,8 +225,8 @@ class Ce
      * number — or @p fallback once retries are exhausted.
      */
     void faultedAccess(sim::Addr addr, os::UserAct act, unsigned attempt,
-                       const std::function<void(unsigned)> &retry,
-                       const sim::Cont &fallback);
+                       sim::SmallFn<void(unsigned)> retry,
+                       sim::Cont fallback);
 
     void recordFault(fault::FaultKind kind, std::uint64_t arg);
 
@@ -244,6 +254,14 @@ class Ce
     std::uint64_t globalWords_ = 0;
     std::uint64_t globalAccesses_ = 0;
     sim::Tick queueingStall_ = 0;
+
+    // Pending-completion slots: the continuation of the (single)
+    // outstanding primitive, parked here so completion events are
+    // plain [this] captures. Exactly one of pendingK_/pendingVal_ is
+    // non-empty while busy_.
+    sim::Cont pendingK_;
+    ValCont pendingVal_;
+    std::uint64_t pendingValArg_ = 0;
 
     fault::FaultLog *flog_ = nullptr;
     obs::Tracer *tracer_ = nullptr;

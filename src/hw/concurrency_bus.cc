@@ -42,7 +42,7 @@ ConcurrencyBus::arrive(Ce &ce, os::UserAct act, sim::Cont k)
         if (tracer_)
             tracer_->resourceWait(obs::ResourceClass::concurrency_bus,
                                   clusterIdx_, w.arrival, skew);
-        eq_.schedule(resume, [this, w] {
+        eq_.schedule(resume, [this, w = std::move(w)] {
             w.ce->endWaitUser(w.act);
             w.ce->trace().post(eq_.now(), w.ce->id(),
                                hpm::EventId::cls_sync_exit,

@@ -102,8 +102,8 @@ GlobalMemory::accessChunk(sim::Tick arrival, const Chunk &chunk,
 
 MemAccessResult
 GlobalMemory::rmw(sim::Tick arrival, sim::Addr addr,
-                  const std::function<std::uint64_t(std::uint64_t)> &f,
-                  std::uint64_t *old_out, std::uint32_t flow)
+                  const sim::RmwFn &f, std::uint64_t *old_out,
+                  std::uint32_t flow)
 {
     const unsigned m = map_.module(addr);
     const ServiceEffect ef = effect(m, arrival, rmw_service);

@@ -90,8 +90,7 @@ class GlobalMemory
      * @return access timing plus the *previous* value of the word.
      */
     MemAccessResult
-    rmw(sim::Tick arrival, sim::Addr addr,
-        const std::function<std::uint64_t(std::uint64_t)> &f,
+    rmw(sim::Tick arrival, sim::Addr addr, const sim::RmwFn &f,
         std::uint64_t *old_out = nullptr, std::uint32_t flow = 0);
 
     /**
@@ -103,8 +102,7 @@ class GlobalMemory
      * @return the previous value of the word.
      */
     std::uint64_t
-    forceRmw(sim::Addr addr,
-             const std::function<std::uint64_t(std::uint64_t)> &f)
+    forceRmw(sim::Addr addr, const sim::RmwFn &f)
     {
         std::uint64_t &cell = words_[addr];
         const std::uint64_t old = cell;

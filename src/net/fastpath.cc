@@ -62,7 +62,8 @@ refOf(std::size_t i, unsigned groups)
  */
 BurstPattern
 BurstPatternCache::build(const ShapeInfo &sh,
-                         const std::vector<sim::Tick> *offsets) const
+                         const std::vector<sim::Tick> *offsets,
+                         std::vector<sim::Tick> *first_arrival) const
 {
     constexpr sim::Tick hop = Network::hop_latency;
     const unsigned groups = map_.numGroups();
@@ -74,6 +75,9 @@ BurstPatternCache::build(const ShapeInfo &sh,
         for (std::size_t j = 0; j < sh.servers.size(); ++j)
             scratch[flatIndex(sh.servers[j], groups)].applyBatch(
                 0, 0, 0, (*offsets)[j]);
+
+    if (first_arrival != nullptr)
+        first_arrival->assign(scratch.size(), sim::max_tick);
 
     BurstPattern p;
 
@@ -89,6 +93,9 @@ BurstPatternCache::build(const ShapeInfo &sh,
 
     auto serveAt = [&](std::size_t si, obs::ResourceClass cls,
                        sim::Tick arrival, sim::Tick service) {
+        if (first_arrival != nullptr &&
+            arrival < (*first_arrival)[si])
+            (*first_arrival)[si] = arrival;
         auto &s = scratch[si];
         const sim::Tick free = s.freeAt();
         addWait(cls, free > arrival ? free - arrival : 0);
@@ -212,6 +219,56 @@ BurstPatternCache::makeShape(unsigned first_module, unsigned words,
     for (std::size_t i = 0; i < touched.size(); ++i)
         if (touched[i])
             sh.servers.push_back(refOf(i, groups));
+
+    // Bank ranges (servers are emitted in flat-index order, so each
+    // bank is contiguous) and group/module ranks — the coordinates
+    // the recording loop uses to map a serve back to its position in
+    // the canonical gather order.
+    sh.groupRank.assign(groups, 0);
+    sh.moduleRank.assign(map_.numModules(), 0);
+    for (std::size_t j = 0; j < sh.servers.size(); ++j) {
+        const auto b = static_cast<unsigned>(sh.servers[j].bank);
+        if (sh.bankCount[b] == 0)
+            sh.bankBegin[b] = static_cast<std::uint32_t>(j);
+        const std::uint32_t rank = sh.bankCount[b]++;
+        if (sh.servers[j].bank == FastBank::stage1)
+            sh.groupRank[sh.servers[j].idx] = rank;
+        else if (sh.servers[j].bank == FastBank::module)
+            sh.moduleRank[sh.servers[j].idx] = rank;
+    }
+
+    // Stage1 rigidity floors: arrivals there are CE issue times,
+    // fixed by the chunk sequence alone, so the horizon-bound
+    // condition "offset + served-so-far >= arrival" resolves per
+    // server to a static minimum offset.
+    sh.stage1Floor.assign(sh.servers.size(), 0);
+    if (!is_rmw) {
+        std::vector<sim::Tick> cum(groups, 0);
+        unsigned issued = 0;
+        map_.forEachChunk(addr0, words, [&](const mem::Chunk &chunk) {
+            const unsigned g = map_.group(chunk.addr);
+            const sim::Tick arr = issued + Network::hop_latency;
+            sim::Tick &floor =
+                sh.stage1Floor[sh.bankBegin[static_cast<unsigned>(
+                                   FastBank::stage1)] +
+                               sh.groupRank[g]];
+            if (arr > cum[g] && arr - cum[g] > floor)
+                floor = arr - cum[g];
+            cum[g] += chunk.len;
+            issued += chunk.len;
+        });
+    }
+
+    // Idle probe: replay the shape once against an empty machine to
+    // learn each touched server's earliest possible request arrival
+    // — the canonicalization threshold (see ShapeInfo::firstArrival).
+    // One extra scratch replay per *shape* (a handful per app),
+    // amortised over the millions of lookups it collapses.
+    std::vector<sim::Tick> fa;
+    build(sh, nullptr, &fa);
+    sh.firstArrival.reserve(sh.servers.size());
+    for (const ServerRef &r : sh.servers)
+        sh.firstArrival.push_back(fa[flatIndex(r, groups)]);
     return sh;
 }
 

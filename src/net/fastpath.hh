@@ -26,12 +26,15 @@
  * thousands of times (queueing reaches a near-periodic steady
  * state).
  *
- * A BurstPattern is therefore built per (shape, offset vector) by
- * running the exact slow-path serve sequence against scratch servers
- * whose free horizons are pre-loaded with the offsets, at start = 0.
- * It records per touched server the request/wait/busy sums and
- * relative free horizon, plus the aggregated per-class queueing
- * waits the telemetry layer would have published. Replaying it is
+ * A BurstPattern is therefore learned per (shape, offset vector). It
+ * records per touched server the request/wait/busy sums and relative
+ * free horizon, plus the aggregated per-class queueing waits the
+ * telemetry layer would have published. The pattern is *recorded off
+ * the live slow-path run* the missing access takes anyway (a stats
+ * snapshot/diff around it, Network::slowBurstEligible) — by the
+ * translation invariance above, those deltas are exactly what a
+ * scratch replay at start = 0 pre-loaded with the offsets would
+ * produce, at almost no extra cost. Replaying a learned pattern is
  * O(touched servers) instead of O(words), and leaves server
  * statistics, the MetricsHub and the returned timing bit-identical
  * to the slow path — reuse requires an *exact* offset-vector match,
@@ -42,6 +45,7 @@
 #ifndef CEDAR_NET_FASTPATH_HH
 #define CEDAR_NET_FASTPATH_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -49,6 +53,11 @@
 #include "mem/address_map.hh"
 #include "obs/resource.hh"
 #include "sim/types.hh"
+
+namespace cedar::sim
+{
+class FifoServer;
+}
 
 namespace cedar::net
 {
@@ -103,6 +112,71 @@ struct BurstPattern
     std::vector<PatternWaits> waits;
 };
 
+/** Number of FastBank values — per-bank arrays below index by the
+ *  underlying enum value. */
+inline constexpr unsigned fast_bank_count = 5;
+
+/**
+ * One *family* of reservation outcomes, parameterized by per-bank
+ * uniform shifts of the offset vector (DESIGN.md §10.2).
+ *
+ * The serve DAG of a burst is feed-forward through the banks in the
+ * fixed order stage1 -> stage2 -> module -> returnA -> returnB (CE
+ * issue times are offset-independent). Saturated convoys at 16/32p
+ * produce offset vectors that are per-bank rigid ladders — within a
+ * bank, the entries keep a fixed relative profile while the bank's
+ * *base* level drifts from burst to burst. When the recorded run
+ * proves that every serve of a base-subtracted ("shift-keyed") bank
+ * was horizon-bound, raising or lowering that bank's base by a
+ * uniform delta shifts exactly that bank's serve starts, waits and
+ * horizons by computable amounts and leaves branch decisions (every
+ * max()) intact — so one recording replays bit-identically for the
+ * whole one-sided family of base levels. See Network::applyParam for
+ * the shift algebra and validity checks.
+ */
+struct ParamPattern
+{
+    BurstPattern pat;
+    /** Recorded base level per shift-keyed bank (the minimum
+     *  canonical offset of the bank, subtracted when keying). */
+    std::array<sim::Tick, fast_bank_count> base{};
+    /**
+     * Per-bank validity constant c_b, from the recorded run.
+     * Shift-keyed banks: c_b = max over the bank's serves of
+     * arrival - pre-serve horizon. c_b <= 0 means every serve was
+     * horizon-bound (a "rigid" bank) and any delta_b - beta_b >= c_b
+     * replays exactly; c_b > 0 means some serve was arrival-bound
+     * and only delta_b == beta_b (the whole bank shifting uniformly
+     * with its arrivals, which preserves every max() branch
+     * trivially) is accepted. Passive banks: c_b = max over the
+     * bank's servers of canonical offset - first recorded arrival.
+     * beta_b == 0 replays the bank verbatim (offsets and arrivals
+     * both identical to the recording) and is always valid;
+     * otherwise validity needs c_b <= 0 and beta_b >= c_b, the
+     * condition under which every first serve stays arrival-bound.
+     * A stage1 bank that is passive because it sits below its static
+     * rigidity floors (ShapeInfo::stage1Floor) always replays with
+     * beta == 0, so c_b > 0 there is harmless. beta_b is the shift
+     * of the bank's request arrivals — the serve-start shift of the
+     * bank feeding it.
+     */
+    std::array<std::int64_t, fast_bank_count> cmin{};
+    std::uint8_t mask = 0; //!< bit b set: bank b is shift-keyed
+    /** Number of banks with cmin > 0 — banks the variant can only
+     *  replay at one exact shift. 0 = fully general (every validity
+     *  check is a one-sided slack); used as the eviction score. */
+    std::uint8_t nonRigid = 0;
+};
+
+/**
+ * The variants recorded under one family key. Distinct contention
+ * regimes (ramp-up, steady convoy, drain) produce recordings whose
+ * validity ranges don't cover each other; keeping a handful side by
+ * side lets each regime hit its own variant instead of evicting the
+ * others. Lookup tries them in recording order.
+ */
+using ParamFamily = std::vector<ParamPattern>;
+
 /** FNV-1a over the raw offset ticks; equality stays the exact
  *  element-wise vector compare, so a hash collision can never apply
  *  the wrong pattern. */
@@ -127,9 +201,76 @@ struct ShapeInfo
     unsigned words = 0;
     bool isRmw = false;
     std::vector<ServerRef> servers;
+
+    /**
+     * Per touched server (same order as @p servers): the tick of the
+     * shape's *first* request arrival at that server in the idle
+     * (all-offsets-zero) replay, relative to the access start. Used
+     * to canonicalize offset vectors before keying: replay arrivals
+     * are monotone non-decreasing in the offsets (every serve start
+     * is a max of arrival and horizons), so any replay's arrival at
+     * server j is >= firstArrival[j]. An offset o_j <=
+     * firstArrival[j] therefore never delays the first serve
+     * (max(arrival, o_j) == arrival) nor records wait, and after the
+     * first serve the server queues behind its own work — the
+     * outcome is bit-identical to o_j == 0. Such don't-care offsets
+     * are zeroed before the cache lookup, collapsing the
+     * convoy-diverse vectors 16/32p runs produce onto one canonical
+     * key (DESIGN.md §10.1).
+     */
+    std::vector<sim::Tick> firstArrival;
+
     std::unordered_map<std::vector<sim::Tick>, BurstPattern,
                        OffsetVecHash>
         patterns;
+
+    /**
+     * Parametric pattern families (ParamPattern), keyed by the
+     * canonical offset vector with each shift-keyed bank's base
+     * subtracted, plus one trailing element holding the shift-key
+     * mask. A bank is shift-keyed in the key iff all its entries are
+     * nonzero — a purely structural rule both the recording and
+     * every lookup apply identically.
+     */
+    std::unordered_map<std::vector<sim::Tick>, ParamFamily,
+                       OffsetVecHash>
+        paramPatterns;
+
+    /** [bankBegin[b], bankBegin[b] + bankCount[b]) is bank b's range
+     *  in @p servers (banks are contiguous: makeShape emits servers
+     *  in flat-index order). */
+    std::array<std::uint32_t, fast_bank_count> bankBegin{};
+    std::array<std::uint32_t, fast_bank_count> bankCount{};
+
+    /**
+     * Per server (aligned with @p servers, nonzero only for stage1
+     * entries): the offset at or above which *every* serve of that
+     * server is horizon-bound. Stage1 arrivals are CE issue times —
+     * static per shape — so the floor is exact: with all of the
+     * bank's offsets at or above their floors the whole bank replays
+     * rigidly under any base shift that keeps them there, and the
+     * family apply constraint (delta >= c_stage1) reduces to exactly
+     * this floor test. Below a floor the bank cannot shift rigidly
+     * and the vector joins no family (see Network::fastReplay).
+     */
+    std::vector<sim::Tick> stage1Floor;
+
+    /** Rank of a group / module among the shape's touched ones —
+     *  maps the slow loop's (bank, group/module) coordinates to the
+     *  bank-relative position in @p servers while recording. */
+    std::vector<std::uint32_t> groupRank;
+    std::vector<std::uint32_t> moduleRank;
+
+    /**
+     * Per issuing (cluster, CE port): the concrete FifoServer each
+     * @p servers entry resolves to, in the same order. Resolving the
+     * position-free refs costs a bank switch per server per attempt;
+     * the offset gather and the replay apply run once per global
+     * access, so the Network caches the resolution here on first use
+     * (server storage is sized at construction and never moves).
+     */
+    std::unordered_map<std::uint32_t, std::vector<sim::FifoServer *>>
+        resolved;
 };
 
 /**
@@ -156,7 +297,14 @@ class BurstPatternCache
      *  and sync-heavy runs want many of exactly those. */
     static constexpr std::size_t max_pattern_bytes = 192u << 20;
 
-    explicit BurstPatternCache(const mem::AddressMap &map) : map_(map) {}
+    explicit BurstPatternCache(const mem::AddressMap &map) : map_(map)
+    {
+        // Contended 16/32p sweeps note tens of thousands of one-shot
+        // offset vectors; growing the sighting table from its default
+        // size rehashes a dozen times along the way (measured in the
+        // 32p profile). One up-front reservation amortises it.
+        sightings_.reserve(1u << 15);
+    }
 
     /** The shape record for a burst of @p words whose first word
      *  lives on @p first_module (or the single-word RMW shape);
@@ -174,49 +322,176 @@ class BurstPatternCache
         return it->second;
     }
 
-    /** The pattern for @p sh under @p offsets (one entry per
-     *  sh.servers element, same order), built on first use. nullptr
-     *  means "take the slow path": an offset is out of range, or the
-     *  store hit its size cap on an unseen vector. */
+    /** The learned pattern for @p sh under @p offsets (one entry per
+     *  sh.servers element, same order), or nullptr when this vector
+     *  has none yet. Pure lookup — learning happens through
+     *  shouldRecord()/store(): the Network records the pattern off
+     *  the slow-path run it is about to execute anyway, instead of
+     *  paying a second full scratch replay to build it. */
     const BurstPattern *
-    pattern(ShapeInfo &sh, const std::vector<sim::Tick> &offsets)
+    find(const ShapeInfo &sh, const std::vector<sim::Tick> &offsets) const
     {
         const auto it = sh.patterns.find(offsets);
-        if (it != sh.patterns.end())
-            return &it->second;
+        return it != sh.patterns.end() ? &it->second : nullptr;
+    }
+
+    /** The pattern family for @p key (base-subtracted canonical
+     *  vector + mask element), or nullptr. */
+    const ParamFamily *
+    findParam(const ShapeInfo &sh, const std::vector<sim::Tick> &key) const
+    {
+        const auto it = sh.paramPatterns.find(key);
+        return it != sh.paramPatterns.end() ? &it->second : nullptr;
+    }
+
+    /**
+     * After a find() miss: should the slow-path run this access is
+     * about to take be recorded as the pattern for @p offsets?
+     * True only on the *second* sighting of an offset vector:
+     * heavily contended sweeps produce long tails of one-shot queue
+     * states whose patterns would never be replayed — the recording
+     * bookkeeping and the stored bytes would be pure overhead. The
+     * sighting note is a 64-bit hash, so a collision merely records
+     * one pattern a sighting early; the pattern map itself still
+     * matches vectors exactly. False as well when the store hit its
+     * byte cap or an offset is out of replayable range.
+     */
+    bool
+    shouldRecord(const ShapeInfo &sh,
+                 const std::vector<sim::Tick> &offsets)
+    {
         if (patternBytes_ >= max_pattern_bytes)
-            return nullptr;
+            return false;
         for (const sim::Tick o : offsets)
             if (o >= max_offset)
-                return nullptr;
-        // Build only on the second sighting of an offset vector:
-        // heavily contended sweeps produce long tails of one-shot
-        // queue states whose patterns would never be replayed — the
-        // build (a full scratch replay) and the stored bytes would
-        // be pure overhead. The sighting note is a 64-bit hash, so a
-        // collision merely builds one pattern a sighting early; the
-        // pattern map itself still matches vectors exactly.
-        if (++sightings_[sightingKey(sh, offsets)] < 2)
-            return nullptr;
+                return false;
+        return ++sightings_[sightingKey(sh, offsets)] >= 2;
+    }
+
+    /** shouldRecord() for a pattern *family*: second sighting of the
+     *  base-subtracted key. Separate sighting space (salted hash) —
+     *  a family key deliberately recurs across bursts whose exact
+     *  vectors never do. */
+    bool
+    shouldRecordParam(const ShapeInfo &sh,
+                      const std::vector<sim::Tick> &key)
+    {
+        if (patternBytes_ >= max_pattern_bytes)
+            return false;
+        // A full family whose worst variant is already fully general
+        // can never be improved — stop paying recording bookkeeping.
+        const auto it = sh.paramPatterns.find(key);
+        if (it != sh.paramPatterns.end() &&
+            it->second.size() >= max_family_variants &&
+            worstVariant(it->second)->nonRigid == 0)
+            return false;
+        return ++sightings_[sightingKey(sh, key) ^
+                            0x517cc1b727220a95ULL] >= 2;
+    }
+
+    /** Would storeParam() actually keep a variant scoring
+     *  @p non_rigid under @p key? Lets the recording side skip
+     *  condensing a run whose variant would just be dropped. */
+    bool
+    wouldAcceptParam(const ShapeInfo &sh,
+                     const std::vector<sim::Tick> &key,
+                     unsigned non_rigid) const
+    {
+        const auto it = sh.paramPatterns.find(key);
+        if (it == sh.paramPatterns.end() ||
+            it->second.size() < max_family_variants)
+            return true;
+        return worstVariant(it->second)->nonRigid > non_rigid;
+    }
+
+    /** File a pattern recorded from a live slow-path run under
+     *  @p offsets (the canonical vector the gather produced for it). */
+    void
+    store(ShapeInfo &sh, const std::vector<sim::Tick> &offsets,
+          BurstPattern &&p)
+    {
         ++patternsBuilt_;
-        const BurstPattern &p =
-            sh.patterns.emplace(offsets, build(sh, &offsets))
-                .first->second;
         patternBytes_ += sizeof(BurstPattern) +
                          p.servers.size() * sizeof(PatternServer) +
                          p.waits.size() * sizeof(PatternWaits) +
                          offsets.size() * sizeof(sim::Tick);
-        return &p;
+        sh.patterns.emplace(offsets, std::move(p));
+    }
+
+    /** Cap on recorded variants per family key: enough for the
+     *  distinct contention regimes a loop exhibits, small enough that
+     *  a lookup trying all of them stays trivial. */
+    static constexpr std::size_t max_family_variants = 32;
+
+    /**
+     * File a new variant under its family key. A variant only ever
+     * gets recorded when every stored one rejected a structurally
+     * matching applicant (or the key was new), so distinct
+     * contention regimes accumulate side by side instead of evicting
+     * each other. When the key is full, a strictly worse-scoring
+     * variant (more non-rigid banks, so a narrower validity range)
+     * is replaced — monotone improvement, so regimes can't thrash —
+     * and otherwise the newcomer is dropped: its regime keeps taking
+     * the slow path, which is merely the status quo ante.
+     */
+    void
+    storeParam(ShapeInfo &sh, const std::vector<sim::Tick> &key,
+               ParamPattern &&p)
+    {
+        ParamFamily &fam = sh.paramPatterns[key];
+        const std::size_t bytes =
+            sizeof(ParamPattern) +
+            p.pat.servers.size() * sizeof(PatternServer) +
+            p.pat.waits.size() * sizeof(PatternWaits);
+        if (fam.size() < max_family_variants) {
+            ++patternsBuilt_;
+            patternBytes_ +=
+                bytes +
+                (fam.empty() ? key.size() * sizeof(sim::Tick) : 0);
+            fam.push_back(std::move(p));
+            return;
+        }
+        ParamPattern *worst = worstVariant(fam);
+        if (worst->nonRigid <= p.nonRigid)
+            return;
+        ++patternsBuilt_;
+        patternBytes_ +=
+            bytes - (sizeof(ParamPattern) +
+                     worst->pat.servers.size() * sizeof(PatternServer) +
+                     worst->pat.waits.size() * sizeof(PatternWaits));
+        *worst = std::move(p);
     }
 
     /** Distinct (shape, offsets) patterns learned so far. */
     std::uint64_t patternsBuilt() const { return patternsBuilt_; }
 
+    /** The family's highest-scoring (least general) variant. */
+    static const ParamPattern *
+    worstVariant(const ParamFamily &fam)
+    {
+        const ParamPattern *worst = &fam.front();
+        for (const ParamPattern &p : fam)
+            if (p.nonRigid > worst->nonRigid)
+                worst = &p;
+        return worst;
+    }
+    static ParamPattern *
+    worstVariant(ParamFamily &fam)
+    {
+        return const_cast<ParamPattern *>(
+            worstVariant(static_cast<const ParamFamily &>(fam)));
+    }
+
   private:
     ShapeInfo makeShape(unsigned first_module, unsigned words,
                         bool is_rmw) const;
+    /** Scratch replay of a shape at start = 0 — still the source of
+     *  the per-shape idle probe (ShapeInfo::firstArrival); live
+     *  patterns are recorded from real slow-path runs instead. */
     BurstPattern build(const ShapeInfo &sh,
-                       const std::vector<sim::Tick> *offsets) const;
+                       const std::vector<sim::Tick> *offsets,
+                       std::vector<sim::Tick> *first_arrival =
+                           nullptr) const;
 
     static std::uint64_t
     sightingKey(const ShapeInfo &sh, const std::vector<sim::Tick> &offsets)

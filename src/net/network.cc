@@ -1,7 +1,9 @@
 #include "net/network.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <string>
 
@@ -22,6 +24,42 @@ checkCluster(sim::ClusterId cluster, unsigned n_clusters)
                             std::to_string(cluster) +
                             " out of range (network has " +
                             std::to_string(n_clusters) + ")");
+}
+
+obs::ResourceClass
+classOfBank(FastBank bank)
+{
+    switch (bank) {
+    case FastBank::stage1:
+        return obs::ResourceClass::stage1_port;
+    case FastBank::stage2:
+        return obs::ResourceClass::stage2_port;
+    case FastBank::returnA:
+        return obs::ResourceClass::return_a_port;
+    case FastBank::returnB:
+        return obs::ResourceClass::return_b_port;
+    case FastBank::module:
+    default:
+        return obs::ResourceClass::memory_module;
+    }
+}
+
+FastBank
+bankOfClass(obs::ResourceClass cls)
+{
+    switch (cls) {
+    case obs::ResourceClass::stage1_port:
+        return FastBank::stage1;
+    case obs::ResourceClass::stage2_port:
+        return FastBank::stage2;
+    case obs::ResourceClass::return_a_port:
+        return FastBank::returnA;
+    case obs::ResourceClass::return_b_port:
+        return FastBank::returnB;
+    case obs::ResourceClass::memory_module:
+    default:
+        return FastBank::module;
+    }
 }
 
 } // namespace
@@ -148,16 +186,20 @@ Network::burst(sim::Tick start, sim::ClusterId cluster, int ce_port,
     checkCluster(cluster, nClusters_);
 
     if (fastEligible(flow)) {
-        if (const BurstPattern *p =
-                fastReplay(start, cluster, ce_port,
-                           gmem_.map().module(addr), words,
-                           /*is_rmw=*/false)) {
+        FastMissCtx miss;
+        sim::Tick rel = 0;
+        unsigned last = 0;
+        if (fastReplay(start, cluster, ce_port, gmem_.map().module(addr),
+                       words, /*is_rmw=*/false, miss, rel, last)) {
             ++fastStats_.fastBursts;
             XferResult out;
-            out.complete = start + p->relComplete;
-            out.unloaded = words + unloadedLatency(p->lastLen, false);
+            out.complete = start + rel;
+            out.unloaded = words + unloadedLatency(last, false);
             return out;
         }
+        ++fastStats_.slowBursts;
+        return slowBurstEligible(start, cluster, ce_port, addr, words,
+                                 miss);
     }
     ++fastStats_.slowBursts;
 
@@ -180,6 +222,225 @@ Network::burst(sim::Tick start, sim::ClusterId cluster, int ce_port,
     // all but the last chunk, plus the last chunk's full latency.
     res.unloaded = (issue - start) + unloaded_last;
     return res;
+}
+
+XferResult
+Network::slowBurstEligible(sim::Tick start, sim::ClusterId cluster,
+                           int ce_port, sim::Addr addr, unsigned words,
+                           const FastMissCtx &miss)
+{
+    // fastEligible() held for this access: flow == 0 (no milestone
+    // subscriber, so every flowStage call would be a no-op) and the
+    // telemetry route is either "publish nothing" (no tracer) or
+    // "the MetricsHub absorbs every resource_wait" — resolve it to
+    // one pointer instead of re-deciding per serve. The serves below
+    // are chunkAccess/forwardPath/returnPath flattened statement for
+    // statement; the bit-identity tests hold this loop to the
+    // generic one.
+    obs::MetricsHub *hub = tracer_ != nullptr ? hub_ : nullptr;
+    const bool rec = miss.record;
+
+    if (rec) {
+        snapScratch_.clear();
+        waitScratch_.clear();
+        for (const sim::FifoServer *s : *miss.servers) {
+            const auto &st = s->stats();
+            snapScratch_.push_back(
+                {st.requests(), st.waitTicks(), st.busyTicks()});
+        }
+    }
+
+    // Family validity tracking (§10.2): while the recorded run
+    // executes, collect per bank the one-sided constraint constant
+    // c_b — for a shift-keyed bank the worst arrival-minus-horizon
+    // over its serves, for a passive bank the worst canonical offset
+    // minus first-arrival over its servers. c_b <= 0 leaves the bank
+    // a one-sided slack; c_b > 0 restricts it to its exact recorded
+    // shift (see ParamPattern::cmin).
+    const ShapeInfo *shp = miss.sh;
+    const bool recParam = rec && miss.paramRecord;
+    std::array<std::int64_t, fast_bank_count> cmin;
+    if (recParam) {
+        cmin.fill(std::numeric_limits<std::int64_t>::min());
+        seenScratch_.assign(shp->servers.size(), 0);
+    }
+    const auto track = [&](unsigned b, std::size_t j, sim::Tick arrival,
+                           sim::Tick free_at) {
+        if ((miss.paramMask >> b) & 1u) {
+            const std::int64_t c = static_cast<std::int64_t>(arrival) -
+                                   static_cast<std::int64_t>(free_at);
+            if (c > cmin[b])
+                cmin[b] = c;
+        } else if (seenScratch_[j] == 0) {
+            seenScratch_[j] = 1;
+            const std::int64_t c =
+                static_cast<std::int64_t>(offsetScratch_[j]) -
+                static_cast<std::int64_t>(arrival - start);
+            if (c > cmin[b])
+                cmin[b] = c;
+        }
+    };
+
+    const mem::AddressMap &map = gmem_.map();
+    Crossbar &s1row = stage1_[cluster];
+    Crossbar &rbrow = returnB_[cluster];
+
+    sim::Tick issue = start;
+    sim::Tick complete = start;
+    unsigned issued = 0;
+    unsigned last_len = 0;
+
+    const auto note = [&](obs::ResourceClass cls, sim::Tick arrival,
+                          sim::Tick free_at) {
+        const sim::Tick w = free_at > arrival ? free_at - arrival : 0;
+        if (hub != nullptr)
+            hub->recordWaits(cls, w, 1);
+        if (rec)
+            waitScratch_.emplace_back(cls, w);
+    };
+
+    map.forEachChunk(addr, words, [&](const mem::Chunk &chunk) {
+        const unsigned group = map.group(chunk.addr);
+        const std::uint32_t grank =
+            recParam ? shp->groupRank[group] : 0;
+
+        auto &p1 = s1row.port(group);
+        const sim::Tick a1 = sim::satAdd(issue, hop_latency);
+        const sim::Tick f1 = p1.freeAt();
+        note(obs::ResourceClass::stage1_port, a1, f1);
+        if (recParam)
+            track(0, shp->bankBegin[0] + grank, a1, f1);
+        const sim::Tick t1 = p1.serve(a1, chunk.len);
+
+        auto &p2 = stage2In_[group].port(cluster);
+        const sim::Tick a2 = sim::satAdd(t1, hop_latency);
+        const sim::Tick f2 = p2.freeAt();
+        note(obs::ResourceClass::stage2_port, a2, f2);
+        if (recParam)
+            track(1, shp->bankBegin[1] + grank, a2, f2);
+        const sim::Tick t2 = p2.serve(a2, chunk.len);
+
+        // No fault plan touches the memory on this path (another
+        // fastEligible condition), so each word's service effect is
+        // exactly word_service with no floor.
+        const sim::Tick marr = sim::satAdd(t2, hop_latency);
+        sim::Tick memdone = 0;
+        for (unsigned i = 0; i < chunk.len; ++i) {
+            const unsigned m = map.module(chunk.addr + i);
+            sim::FifoServer &ms = gmem_.moduleServerMut(m);
+            const sim::Tick fm = ms.freeAt();
+            note(obs::ResourceClass::memory_module, marr, fm);
+            if (recParam)
+                track(4, shp->bankBegin[4] + shp->moduleRank[m], marr,
+                      fm);
+            memdone = std::max(
+                memdone,
+                ms.serve(marr, mem::GlobalMemory::word_service));
+        }
+
+        auto &pa = returnA_[group].port(cluster);
+        const sim::Tick a3 = sim::satAdd(memdone, hop_latency);
+        const sim::Tick f3 = pa.freeAt();
+        note(obs::ResourceClass::return_a_port, a3, f3);
+        if (recParam)
+            track(2, shp->bankBegin[2] + grank, a3, f3);
+        const sim::Tick t3 = pa.serve(a3, chunk.len);
+
+        auto &pb = rbrow.port(ce_port);
+        const sim::Tick a4 = sim::satAdd(t3, hop_latency);
+        const sim::Tick f4 = pb.freeAt();
+        note(obs::ResourceClass::return_b_port, a4, f4);
+        if (recParam)
+            track(3, shp->bankBegin[3], a4, f4);
+        const sim::Tick t4 = pb.serve(a4, chunk.len);
+
+        complete = std::max(complete, sim::satAdd(t4, hop_latency));
+        last_len = chunk.len;
+        issued += chunk.len;
+        // The CE issues the stream pipelined at one word per cycle.
+        issue = sim::satAdd(start, issued);
+    });
+
+    XferResult res;
+    res.complete = complete;
+    res.unloaded = (issue - start) + unloadedLatency(last_len, false);
+
+    // Second sighting: file the run's outcome. The deltas recorded
+    // here are, by the fast path's translation invariance, exactly
+    // what a scratch replay at start = 0 would compute — without
+    // paying that second full serve sequence. A family variant
+    // subsumes the exact pattern when the store keeps it (score =
+    // number of exact-shift-only banks; a full family only trades up
+    // toward fully general variants); otherwise fall back to the
+    // exact vector if it earned recording itself. Skip only the
+    // degenerate saturated case, where "complete - start" is no
+    // longer translation invariant.
+    if (rec && complete != sim::max_tick) {
+        bool storeAsParam = false;
+        std::uint8_t non_rigid = 0;
+        if (recParam) {
+            for (unsigned b = 0; b < fast_bank_count; ++b)
+                if (shp->bankCount[b] != 0 && cmin[b] > 0)
+                    ++non_rigid;
+            storeAsParam = cache_.wouldAcceptParam(*shp, paramScratch_,
+                                                   non_rigid);
+        }
+        if (storeAsParam) {
+            ParamPattern pp;
+            pp.pat = diffPattern(miss, start, complete - start,
+                                 last_len);
+            pp.mask = miss.paramMask;
+            pp.nonRigid = non_rigid;
+            pp.base = paramBase_;
+            pp.cmin = cmin;
+            cache_.storeParam(*miss.sh, paramScratch_, std::move(pp));
+        } else if (miss.exactRecord) {
+            cache_.store(*miss.sh, offsetScratch_,
+                         diffPattern(miss, start, complete - start,
+                                     last_len));
+        }
+    }
+    return res;
+}
+
+BurstPattern
+Network::diffPattern(const FastMissCtx &miss, sim::Tick start,
+                     sim::Tick rel_complete, unsigned last_len)
+{
+    const ShapeInfo &sh = *miss.sh;
+    BurstPattern p;
+    p.relComplete = rel_complete;
+    p.lastLen = last_len;
+    p.servers.reserve(sh.servers.size());
+    for (std::size_t j = 0; j < sh.servers.size(); ++j) {
+        const sim::FifoServer &s = *(*miss.servers)[j];
+        const auto &st = s.stats();
+        PatternServer e;
+        e.bank = sh.servers[j].bank;
+        e.idx = sh.servers[j].idx;
+        e.requests =
+            static_cast<std::uint32_t>(st.requests() - snapScratch_[j][0]);
+        e.waitSum = st.waitTicks() - snapScratch_[j][1];
+        e.busySum = st.busyTicks() - snapScratch_[j][2];
+        // Every touched server served at least once at an arrival
+        // past start, so its horizon sits beyond it.
+        e.freeAt = s.freeAt() - start;
+        p.servers.push_back(e);
+    }
+
+    // Condense the captured per-serve waits by (class, value). The
+    // list order is irrelevant for bit-identity: histogram bucket
+    // counts and per-class wait sums are commutative.
+    std::sort(waitScratch_.begin(), waitScratch_.end());
+    for (std::size_t i = 0; i < waitScratch_.size();) {
+        std::size_t k = i + 1;
+        while (k < waitScratch_.size() && waitScratch_[k] == waitScratch_[i])
+            ++k;
+        p.waits.push_back(PatternWaits{waitScratch_[i].first,
+                                       waitScratch_[i].second, k - i});
+        i = k;
+    }
+    return p;
 }
 
 bool
@@ -224,65 +485,272 @@ Network::fastServer(FastBank bank, std::uint32_t idx,
     }
 }
 
-const BurstPattern *
+const std::vector<sim::FifoServer *> &
+Network::resolvedServers(ShapeInfo &sh, sim::ClusterId cluster,
+                         int ce_port)
+{
+    const std::uint32_t key =
+        (static_cast<std::uint32_t>(cluster) << 16) |
+        static_cast<std::uint32_t>(ce_port);
+    auto it = sh.resolved.find(key);
+    if (it == sh.resolved.end()) {
+        std::vector<sim::FifoServer *> v;
+        v.reserve(sh.servers.size());
+        for (const ServerRef &r : sh.servers)
+            v.push_back(&fastServer(r.bank, r.idx, cluster, ce_port));
+        it = sh.resolved.emplace(key, std::move(v)).first;
+    }
+    return it->second;
+}
+
+bool
 Network::fastReplay(sim::Tick start, sim::ClusterId cluster, int ce_port,
-                    unsigned first_module, unsigned words, bool is_rmw)
+                    unsigned first_module, unsigned words, bool is_rmw,
+                    FastMissCtx &miss, sim::Tick &rel_complete,
+                    unsigned &last_len)
 {
     ShapeInfo &sh = cache_.shape(first_module, words, is_rmw);
+    const auto &srvs = resolvedServers(sh, cluster, ce_port);
 
     // The replay key: every touched server's free horizon relative
     // to this access's start. An exact match means the pattern's
-    // scratch replay saw precisely this queue state, so every serve
+    // recorded run saw precisely this queue state, so every serve
     // start, wait and updated horizon — including the access's
     // self-queueing — is the recorded one shifted by start.
+    //
+    // Canonicalization: an offset at or below the server's idle
+    // first-arrival tick can never delay a serve or record wait (the
+    // request arrives later than the horizon clears), so it is
+    // quotiented to zero before keying. Convoy phases at 16/32p
+    // produce thousands of vectors differing only in such don't-care
+    // entries — e.g. a return-path port whose residual backlog
+    // clears long before this access's words come back — and they
+    // all collapse onto one canonical pattern, bit-identically.
     offsetScratch_.clear();
-    for (const ServerRef &r : sh.servers) {
-        const sim::Tick f =
-            fastServer(r.bank, r.idx, cluster, ce_port).freeAt();
-        offsetScratch_.push_back(f > start ? f - start : 0);
+    for (std::size_t j = 0; j < srvs.size(); ++j) {
+        const sim::Tick f = srvs[j]->freeAt();
+        sim::Tick off = f > start ? f - start : 0;
+        if (off <= sh.firstArrival[j])
+            off = 0;
+        offsetScratch_.push_back(off);
     }
 
-    const BurstPattern *p = cache_.pattern(sh, offsetScratch_);
-    if (p == nullptr)
-        return nullptr;
+    if (const BurstPattern *p = cache_.find(sh, offsetScratch_)) {
+        // Near the tick ceiling the slow path's overflow throw
+        // applies. (The pattern exists, so no re-recording.)
+        if (p->relComplete > sim::max_tick - start) {
+            miss.sh = &sh;
+            miss.servers = &srvs;
+            return false;
+        }
 
-    // Near the tick ceiling the slow path's overflow throw applies.
-    if (p->relComplete > sim::max_tick - start)
-        return nullptr;
+        const auto &entries = p->servers;
+        assert(entries.size() == srvs.size());
+        for (std::size_t j = 0; j < entries.size(); ++j)
+            srvs[j]->applyBatch(entries[j].requests, entries[j].waitSum,
+                                entries[j].busySum,
+                                start + entries[j].freeAt);
 
-    for (const auto &e : p->servers)
-        fastServer(e.bank, e.idx, cluster, ce_port)
-            .applyBatch(e.requests, e.waitSum, e.busySum,
-                        start + e.freeAt);
+        if (tracer_ != nullptr)
+            for (const auto &w : p->waits)
+                hub_->recordWaits(w.cls, w.wait, w.count);
+
+        rel_complete = p->relComplete;
+        last_len = p->lastLen;
+        return true;
+    }
+
+    miss.sh = &sh;
+    miss.servers = &srvs;
+
+    // Exact miss: try the parametric families (DESIGN.md §10.2).
+    // Build the base-subtracted key — a bank whose canonical offsets
+    // are all nonzero is shift-keyed (its base becomes a family
+    // parameter); any other bank keeps its entries verbatim. The
+    // rule is purely structural, so the recording side and every
+    // lookup derive identical keys.
+    bool paramCandidate = false;
+    if (!is_rmw) {
+        paramScratch_.clear();
+        std::uint8_t mask = 0;
+        for (unsigned b = 0; b < fast_bank_count; ++b) {
+            const std::uint32_t begin = sh.bankBegin[b];
+            const std::uint32_t n = sh.bankCount[b];
+            if (n == 0) {
+                paramBase_[b] = 0;
+                continue;
+            }
+            sim::Tick mn = offsetScratch_[begin];
+            for (std::uint32_t k = 1; k < n; ++k)
+                mn = std::min(mn, offsetScratch_[begin + k]);
+            // A stage1 bank below its static rigidity floors cannot
+            // shift rigidly (some serve would be arrival-bound), so
+            // it stays passive — which for stage1 is unconditionally
+            // replayable, since its arrivals never shift.
+            bool shiftable = mn > 0;
+            if (shiftable &&
+                b == static_cast<unsigned>(FastBank::stage1)) {
+                for (std::uint32_t k = 0; k < n; ++k)
+                    if (offsetScratch_[begin + k] <
+                        sh.stage1Floor[begin + k]) {
+                        shiftable = false;
+                        break;
+                    }
+            }
+            if (shiftable) {
+                mask |= static_cast<std::uint8_t>(1u << b);
+                paramBase_[b] = mn;
+                for (std::uint32_t k = 0; k < n; ++k)
+                    paramScratch_.push_back(offsetScratch_[begin + k] -
+                                            mn);
+            } else {
+                paramBase_[b] = 0;
+                for (std::uint32_t k = 0; k < n; ++k)
+                    paramScratch_.push_back(offsetScratch_[begin + k]);
+            }
+        }
+        paramScratch_.push_back(mask);
+        miss.paramMask = mask;
+        paramCandidate = mask != 0;
+        if (paramCandidate) {
+            if (const ParamFamily *fam =
+                    cache_.findParam(sh, paramScratch_)) {
+                for (const ParamPattern &pp : *fam)
+                    if (applyParam(pp, paramBase_, start, sh, srvs,
+                                   rel_complete, last_len))
+                        return true;
+            }
+        }
+    }
+
+    miss.exactRecord = cache_.shouldRecord(sh, offsetScratch_);
+    if (paramCandidate) {
+        bool in_range = true;
+        for (const sim::Tick o : offsetScratch_)
+            if (o >= BurstPatternCache::max_offset) {
+                in_range = false;
+                break;
+            }
+        miss.paramRecord =
+            in_range && cache_.shouldRecordParam(sh, paramScratch_);
+    }
+    miss.record = miss.exactRecord || miss.paramRecord;
+    return false;
+}
+
+bool
+Network::applyParam(const ParamPattern &pp,
+                    const std::array<sim::Tick, fast_bank_count> &bases,
+                    sim::Tick start, const ShapeInfo &sh,
+                    const std::vector<sim::FifoServer *> &srvs,
+                    sim::Tick &rel_complete, unsigned &last_len)
+{
+    // Per-bank shift algebra, in the burst DAG's topological order.
+    // beta[b] is the shift of bank b's request arrivals — the serve-
+    // start shift (alpha) of the bank feeding it; stage1 arrivals
+    // are CE issue times, which no offset moves. A shift-keyed bank
+    // serves on its own horizon chain, so its starts move with its
+    // base delta; a passive bank's starts follow its arrivals.
+    // Each one-sided constraint keeps every recorded max() branch
+    // decision (horizon vs arrival) intact, which is what makes the
+    // shifted replay bit-exact.
+    static constexpr FastBank topo[fast_bank_count] = {
+        FastBank::stage1, FastBank::stage2, FastBank::module,
+        FastBank::returnA, FastBank::returnB};
+    std::int64_t alpha[fast_bank_count];
+    std::int64_t beta[fast_bank_count];
+    std::int64_t in = 0;
+    for (const FastBank fb : topo) {
+        const auto b = static_cast<unsigned>(fb);
+        beta[b] = in;
+        if ((pp.mask >> b) & 1u) {
+            const std::int64_t d = static_cast<std::int64_t>(bases[b]) -
+                                   static_cast<std::int64_t>(pp.base[b]);
+            if (d != in && (pp.cmin[b] > 0 || d - in < pp.cmin[b]))
+                return false;
+            alpha[b] = d;
+        } else {
+            // beta == 0 replays a passive bank verbatim — offsets
+            // and arrivals both identical to the recording — so it
+            // is valid whatever the recording looked like.
+            if (in != 0 && (pp.cmin[b] > 0 || in < pp.cmin[b]))
+                return false;
+            alpha[b] = in;
+        }
+        in = alpha[b];
+    }
+
+    // Completion is the last returnB serve plus a hop: it shifts
+    // with returnB's starts. Near the tick ceiling the slow path's
+    // overflow behaviour stays authoritative, as on the exact path.
+    const std::int64_t rel =
+        static_cast<std::int64_t>(pp.pat.relComplete) +
+        alpha[static_cast<unsigned>(FastBank::returnB)];
+    if (rel < 0 || static_cast<sim::Tick>(rel) > sim::max_tick - start)
+        return false;
+
+    const auto &entries = pp.pat.servers;
+    assert(entries.size() == srvs.size());
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+        const auto b = static_cast<unsigned>(sh.servers[j].bank);
+        const PatternServer &e = entries[j];
+        // Every serve's wait moves by (alpha - beta); the validity
+        // constraints bound that from below by minus the smallest
+        // recorded wait, so no shifted wait goes negative.
+        srvs[j]->applyBatch(
+            e.requests,
+            static_cast<sim::Tick>(static_cast<std::int64_t>(e.waitSum) +
+                                   static_cast<std::int64_t>(e.requests) *
+                                       (alpha[b] - beta[b])),
+            e.busySum,
+            start + static_cast<sim::Tick>(
+                        static_cast<std::int64_t>(e.freeAt) + alpha[b]));
+    }
 
     if (tracer_ != nullptr)
-        for (const auto &w : p->waits)
-            hub_->recordWaits(w.cls, w.wait, w.count);
+        for (const auto &w : pp.pat.waits) {
+            const auto b =
+                static_cast<unsigned>(bankOfClass(w.cls));
+            hub_->recordWaits(
+                w.cls,
+                static_cast<sim::Tick>(static_cast<std::int64_t>(w.wait) +
+                                       (alpha[b] - beta[b])),
+                w.count);
+        }
 
-    return p;
+    rel_complete = static_cast<sim::Tick>(rel);
+    last_len = pp.pat.lastLen;
+    return true;
 }
 
 XferResult
 Network::rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
-             sim::Addr addr,
-             const std::function<std::uint64_t(std::uint64_t)> &f,
-             std::uint32_t flow)
+             sim::Addr addr, const sim::RmwFn &f, std::uint32_t flow)
 {
     checkCluster(cluster, nClusters_);
 
+    FastMissCtx miss;
     if (fastEligible(flow)) {
-        if (const BurstPattern *p =
-                fastReplay(when, cluster, ce_port,
-                           gmem_.map().module(addr), 1,
-                           /*is_rmw=*/true)) {
+        sim::Tick rel = 0;
+        unsigned last = 0;
+        if (fastReplay(when, cluster, ce_port, gmem_.map().module(addr),
+                       1, /*is_rmw=*/true, miss, rel, last)) {
             ++fastStats_.fastRmws;
             XferResult out;
-            out.complete = when + p->relComplete;
+            out.complete = when + rel;
             out.unloaded = unloadedLatency(1, true);
             // The value mutation the skipped module serve would have
             // applied, in the same (synchronous) serialisation order.
             out.oldValue = gmem_.forceRmw(addr, f);
             return out;
+        }
+        if (miss.record) {
+            snapScratch_.clear();
+            for (const sim::FifoServer *s : *miss.servers) {
+                const auto &st = s->stats();
+                snapScratch_.push_back(
+                    {st.requests(), st.waitTicks(), st.busyTicks()});
+            }
         }
     }
     ++fastStats_.slowRmws;
@@ -303,6 +771,24 @@ Network::rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
     }
     res.complete = returnPath(mem.complete, cluster, ce_port, group, 1,
                               flow);
+
+    // Second sighting: file this run as the offset vector's pattern.
+    // An RMW serves every touched server exactly once, so each
+    // server's wait-sum delta is its one published wait — the
+    // per-serve capture the burst loop needs collapses to the stats
+    // diff itself.
+    if (miss.record && res.complete != sim::max_tick) {
+        waitScratch_.clear();
+        const ShapeInfo &sh = *miss.sh;
+        for (std::size_t j = 0; j < sh.servers.size(); ++j) {
+            const sim::Tick w =
+                (*miss.servers)[j]->stats().waitTicks() -
+                snapScratch_[j][1];
+            waitScratch_.emplace_back(classOfBank(sh.servers[j].bank), w);
+        }
+        cache_.store(*miss.sh, offsetScratch_,
+                     diffPattern(miss, when, res.complete - when, 1));
+    }
     return res;
 }
 

@@ -21,9 +21,11 @@
 #ifndef CEDAR_NET_NETWORK_HH
 #define CEDAR_NET_NETWORK_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <utility>
 #include <vector>
 
 #include "mem/global_memory.hh"
@@ -157,8 +159,7 @@ class Network
      * fetch&add). Serialised at the memory module.
      */
     XferResult rmw(sim::Tick when, sim::ClusterId cluster, int ce_port,
-                   sim::Addr addr,
-                   const std::function<std::uint64_t(std::uint64_t)> &f,
+                   sim::Addr addr, const sim::RmwFn &f,
                    std::uint32_t flow = 0);
 
     /** Zero-contention latency of a chunk of @p len words. */
@@ -178,8 +179,7 @@ class Network
 
     /** Untimed RMW fallback (see mem::GlobalMemory::forceRmw). */
     std::uint64_t
-    forceRmw(sim::Addr addr,
-             const std::function<std::uint64_t(std::uint64_t)> &f)
+    forceRmw(sim::Addr addr, const sim::RmwFn &f)
     {
         return gmem_.forceRmw(addr, f);
     }
@@ -247,6 +247,21 @@ class Network
 
     // ----- analytic fast path (see net/fastpath.hh) -----
 
+    /** What a fast-path miss leaves behind for the slow path: the
+     *  shape, its resolved touched-server pointers, and whether the
+     *  slow run about to happen should be recorded as this offset
+     *  vector's pattern (second sighting). The canonical offsets
+     *  themselves stay in offsetScratch_. */
+    struct FastMissCtx
+    {
+        ShapeInfo *sh = nullptr;
+        const std::vector<sim::FifoServer *> *servers = nullptr;
+        bool record = false;      //!< snapshot + diff the slow run
+        bool exactRecord = false; //!< exact vector sighted twice
+        bool paramRecord = false; //!< family key sighted twice
+        std::uint8_t paramMask = 0; //!< gather-time shift-keyed banks
+    };
+
     /** May the fast path even be attempted for this access? */
     bool fastEligible(std::uint32_t flow) const;
 
@@ -255,19 +270,75 @@ class Network
     sim::FifoServer &fastServer(FastBank bank, std::uint32_t idx,
                                 sim::ClusterId cluster, int ce_port);
 
+    /** The shape's touched servers resolved for (cluster, ce_port),
+     *  cached in the ShapeInfo on first use. */
+    const std::vector<sim::FifoServer *> &
+    resolvedServers(ShapeInfo &sh, sim::ClusterId cluster, int ce_port);
+
     /** Gather the touched servers' relative free-horizon offsets,
-     *  look up (building on first sight) the matching pattern, and
-     *  apply it: batched server statistics, batched telemetry, and
-     *  the returned timing are bit-identical to the slow path.
-     *  nullptr means "take the slow path" (pattern store capped, an
-     *  offset out of range, or too close to the tick ceiling). */
-    const BurstPattern *fastReplay(sim::Tick start,
-                                   sim::ClusterId cluster, int ce_port,
-                                   unsigned first_module, unsigned words,
-                                   bool is_rmw);
+     *  look up the matching pattern, and apply it: batched server
+     *  statistics, batched telemetry, and the returned timing are
+     *  bit-identical to the slow path. nullptr means "take the slow
+     *  path" (no pattern yet, store capped, an offset out of range,
+     *  or too close to the tick ceiling); @p miss then carries what
+     *  the slow path needs to record the run as a new pattern. */
+    bool fastReplay(sim::Tick start, sim::ClusterId cluster, int ce_port,
+                    unsigned first_module, unsigned words, bool is_rmw,
+                    FastMissCtx &miss, sim::Tick &rel_complete,
+                    unsigned &last_len);
+
+    /**
+     * Replay a pattern *family* member (DESIGN.md §10.2). Computes
+     * the per-bank shift algebra in DAG order — beta_b (arrival
+     * shift) is the alpha of the upstream bank, alpha_b (serve-start
+     * shift) is the bank's own base delta when shift-keyed and
+     * beta_b when passive — validates the one-sided constraints the
+     * recording proved sufficient, and applies the recorded pattern
+     * with each bank's stats, horizons and published waits shifted
+     * by its (alpha, alpha - beta). Returns false (take the slow
+     * path) when the member lies outside the family's validity
+     * range or too close to the tick ceiling.
+     */
+    bool applyParam(const ParamPattern &pp,
+                    const std::array<sim::Tick, fast_bank_count> &bases,
+                    sim::Tick start, const ShapeInfo &sh,
+                    const std::vector<sim::FifoServer *> &srvs,
+                    sim::Tick &rel_complete, unsigned &last_len);
+
+    /**
+     * The slow-path burst chunk loop, specialised for fast-eligible
+     * accesses (flow == 0, telemetry provably "hub absorbs every
+     * resource_wait" or none): identical serves in identical order
+     * with identical published waits, with the per-chunk dispatch
+     * through chunkAccess/forwardPath/returnPath flattened and the
+     * telemetry route resolved once. When @p miss.record is set, the
+     * run's per-server stats deltas and per-serve waits are filed as
+     * the pattern for the canonical offsets in offsetScratch_.
+     */
+    XferResult slowBurstEligible(sim::Tick start, sim::ClusterId cluster,
+                                 int ce_port, sim::Addr addr,
+                                 unsigned words, const FastMissCtx &miss);
+
+    /** Condense a just-executed recorded run into a BurstPattern:
+     *  per-server stats deltas against snapScratch_, plus the
+     *  (class, wait) pairs captured in waitScratch_ aggregated by
+     *  equal value. */
+    BurstPattern diffPattern(const FastMissCtx &miss, sim::Tick start,
+                             sim::Tick rel_complete, unsigned last_len);
 
     /** Reused offset-gather buffer (single-threaded per Machine). */
     std::vector<sim::Tick> offsetScratch_;
+    /** Reused per-serve (class, wait) capture for pattern recording. */
+    std::vector<std::pair<obs::ResourceClass, sim::Tick>> waitScratch_;
+    /** Reused pre-run stats snapshot for pattern recording: per
+     *  touched server, (requests, waitTicks, busyTicks). */
+    std::vector<std::array<std::uint64_t, 3>> snapScratch_;
+    /** Reused family-key buffer (base-subtracted offsets + mask). */
+    std::vector<sim::Tick> paramScratch_;
+    /** Gather-time per-bank bases of the candidate family key. */
+    std::array<sim::Tick, fast_bank_count> paramBase_{};
+    /** Reused per-server first-serve marks while recording. */
+    std::vector<char> seenScratch_;
 };
 
 } // namespace cedar::net

@@ -161,11 +161,13 @@ Xylem::handleFault(hw::Ce &ce, PageId page, Touch kind, sim::Cont k)
                            sect.exit - costs.crit_clus_cost,
                            costs.crit_clus_cost);
         pt_.faultWindow(page, sect.exit + costs.pgflt_seq_cost);
-        ce.occupyUntil(sect.exit, [this, &ce, costs,
-                                   finish = std::move(finish)] {
-            ce.osCompute(costs.pgflt_seq_cost, TimeCat::system,
-                         OsAct::pgflt_seq, finish);
-        });
+        ce.occupyUntil(sect.exit,
+                       [&ce, cost = costs.pgflt_seq_cost,
+                        finish = std::move(finish)]() mutable {
+                           ce.osCompute(cost, TimeCat::system,
+                                        OsAct::pgflt_seq,
+                                        std::move(finish));
+                       });
         return;
     }
 
@@ -173,16 +175,18 @@ Xylem::handleFault(hw::Ce &ce, PageId page, Touch kind, sim::Cont k)
     // Concurrent fault: a CPI gathers the cluster, then this CE
     // pays the (more expensive) concurrent service, extended to the
     // end of the original fault's window if that is later.
-    crossProcessorInterrupt(ce.cluster(), [this, &ce, page,
-                                           finish = std::move(finish)] {
-        const auto &costs2 = m_.costs();
-        const sim::Tick resolve = pt_.resolveAt(page);
-        const sim::Tick now2 = m_.now();
-        sim::Tick service = costs2.pgflt_conc_cost;
-        if (resolve != sim::max_tick && resolve > now2 + service)
-            service = resolve - now2;
-        ce.osCompute(service, TimeCat::system, OsAct::pgflt_conc, finish);
-    });
+    crossProcessorInterrupt(
+        ce.cluster(),
+        [this, &ce, page, finish = std::move(finish)]() mutable {
+            const auto &costs2 = m_.costs();
+            const sim::Tick resolve = pt_.resolveAt(page);
+            const sim::Tick now2 = m_.now();
+            sim::Tick service = costs2.pgflt_conc_cost;
+            if (resolve != sim::max_tick && resolve > now2 + service)
+                service = resolve - now2;
+            ce.osCompute(service, TimeCat::system, OsAct::pgflt_conc,
+                         std::move(finish));
+        });
 }
 
 void
@@ -198,8 +202,9 @@ Xylem::touchPages(hw::Ce &ce, PageId first, unsigned n, sim::Cont k)
         const PageId rest_first = page + 1;
         const unsigned rest_n = n - i - 1;
         handleFault(ce, page, t,
-                    [this, &ce, rest_first, rest_n, k = std::move(k)] {
-                        touchPages(ce, rest_first, rest_n, k);
+                    [this, &ce, rest_first, rest_n,
+                     k = std::move(k)]() mutable {
+                        touchPages(ce, rest_first, rest_n, std::move(k));
                     });
         return;
     }
@@ -224,10 +229,12 @@ Xylem::clusterSyscall(hw::Ce &ce, sim::Cont k)
                        OsAct::crit_clus,
                        sect.exit - costs.crit_clus_cost,
                        costs.crit_clus_cost);
-    ce.occupyUntil(sect.exit, [this, &ce, costs, k = std::move(k)] {
-        ce.osCompute(costs.syscall_clus_cost, TimeCat::system,
-                     OsAct::syscall_clus, k);
-    });
+    ce.occupyUntil(sect.exit,
+                   [&ce, cost = costs.syscall_clus_cost,
+                    k = std::move(k)]() mutable {
+                       ce.osCompute(cost, TimeCat::system,
+                                    OsAct::syscall_clus, std::move(k));
+                   });
 }
 
 void
@@ -247,17 +254,19 @@ Xylem::globalSyscall(hw::Ce &ce, sim::Cont k)
                        OsAct::crit_glbl,
                        sect.exit - costs.crit_glbl_cost,
                        costs.crit_glbl_cost);
-    ce.occupyUntil(sect.exit, [this, &ce, costs, k = std::move(k)] {
-        ce.osCompute(costs.syscall_glbl_cost, TimeCat::system,
-                     OsAct::syscall_glbl, k);
-    });
+    ce.occupyUntil(sect.exit,
+                   [&ce, cost = costs.syscall_glbl_cost,
+                    k = std::move(k)]() mutable {
+                       ce.osCompute(cost, TimeCat::system,
+                                    OsAct::syscall_glbl, std::move(k));
+                   });
 }
 
 void
 Xylem::createHelperTask(hw::Ce &caller, sim::ClusterId target, sim::Cont k)
 {
-    globalSyscall(caller, [this, target, k = std::move(k)] {
-        crossProcessorInterrupt(target, k);
+    globalSyscall(caller, [this, target, k = std::move(k)]() mutable {
+        crossProcessorInterrupt(target, std::move(k));
     });
 }
 
@@ -267,25 +276,28 @@ Xylem::ioBlock(hw::Ce &ce, sim::Cont k)
     ++stats_.ioBlocks;
     ++stats_.ctxSwitches;
     auto &cluster = m_.cluster(ce.cluster());
-    clusterSyscall(ce, [this, &ce, &cluster, k = std::move(k)] {
+    clusterSyscall(ce, [this, &ce, &cluster, k = std::move(k)]() mutable {
         // Blocking switches the whole gang out and back in: the
         // other CEs get overlay charges, the blocking CE pays the
         // switch on its own program.
-        crossProcessorInterrupt(ce.cluster(), [this, &ce, &cluster, k] {
-            const auto &costs = m_.costs();
-            for (unsigned i = 0; i < cluster.numCes(); ++i) {
-                auto &other = cluster.ce(static_cast<int>(i));
-                if (other.id() == ce.id())
-                    continue;
-                const sim::Tick cost =
-                    costs.ctx_rtl_coop && other.waiting()
-                        ? costs.ctx_cost / 4
-                        : costs.ctx_cost;
-                other.chargeInterrupt(cost, TimeCat::system,
-                                      OsAct::ctx);
-            }
-            ce.osCompute(costs.ctx_cost, TimeCat::system, OsAct::ctx, k);
-        });
+        crossProcessorInterrupt(
+            ce.cluster(),
+            [this, &ce, &cluster, k = std::move(k)]() mutable {
+                const auto &costs = m_.costs();
+                for (unsigned i = 0; i < cluster.numCes(); ++i) {
+                    auto &other = cluster.ce(static_cast<int>(i));
+                    if (other.id() == ce.id())
+                        continue;
+                    const sim::Tick cost =
+                        costs.ctx_rtl_coop && other.waiting()
+                            ? costs.ctx_cost / 4
+                            : costs.ctx_cost;
+                    other.chargeInterrupt(cost, TimeCat::system,
+                                          OsAct::ctx);
+                }
+                ce.osCompute(costs.ctx_cost, TimeCat::system,
+                             OsAct::ctx, std::move(k));
+            });
     });
 }
 

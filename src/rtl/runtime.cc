@@ -241,34 +241,44 @@ Runtime::execSerial(unsigned phase_idx, const SerialSpec &s, sim::Cont k)
     const unsigned segments = s.ioOps + 1;
     const sim::Tick seg = s.compute / segments;
 
-    // Chain: pages -> (compute [-> io])* -> exit.
-    auto finish = [this, &lead, k = std::move(k)] {
+    // Chain: pages -> (compute [-> io])* -> exit. The chain state
+    // (including the exit continuation) lives in one shared
+    // SerialRun, so every closure below is a small [this, st, i]
+    // that fits a continuation's inline buffer. (The previous
+    // self-capturing shared std::function also leaked itself via
+    // the reference cycle.)
+    auto st = std::make_shared<SerialRun>();
+    st->lead = &lead;
+    st->segments = segments;
+    st->seg = seg;
+    st->finish = [this, &lead, k = std::move(k)] {
         m_.trace().post(m_.now(), lead.id(), EventId::serial_exit, 0);
         k();
     };
 
-    // Recursive segment executor.
-    auto run_segments = std::make_shared<std::function<void(unsigned)>>();
-    *run_segments = [this, &lead, segments, seg, s, run_segments,
-                     finish = std::move(finish)](unsigned i) {
-        if (i >= segments) {
-            finish();
-            return;
-        }
-        lead.compute(std::max<sim::Tick>(seg, 1), UserAct::serial,
-                     [this, &lead, i, segments, run_segments] {
-                         if (i + 1 < segments) {
-                             m_.xylem().ioBlock(lead, [run_segments, i] {
-                                 (*run_segments)(i + 1);
-                             });
-                         } else {
-                             (*run_segments)(i + 1);
-                         }
-                     });
-    };
-
     m_.xylem().touchPages(lead, first, static_cast<unsigned>(fresh),
-                          [run_segments] { (*run_segments)(0); });
+                          [this, st] { serialSegment(st, 0); });
+}
+
+void
+Runtime::serialSegment(const std::shared_ptr<SerialRun> &st, unsigned i)
+{
+    if (i >= st->segments) {
+        sim::Cont finish = std::move(st->finish);
+        finish();
+        return;
+    }
+    auto &lead = *st->lead;
+    lead.compute(std::max<sim::Tick>(st->seg, 1), UserAct::serial,
+                 [this, st, i] {
+                     if (i + 1 < st->segments) {
+                         m_.xylem().ioBlock(*st->lead, [this, st, i] {
+                             serialSegment(st, i + 1);
+                         });
+                     } else {
+                         serialSegment(st, i + 1);
+                     }
+                 });
 }
 
 // ----- loop posting (main task) -----
@@ -322,23 +332,28 @@ Runtime::execSpreadLoop(unsigned step, unsigned phase_idx,
     // global memory, then flip the activity word the helpers spin
     // on.
     lead.compute(m_.costs().loop_setup_local, UserAct::loop_setup,
-                 [this, loop, &lead, k = std::move(k)] {
+                 [this, loop, &lead, k = std::move(k)]() mutable {
         lead.globalAccess(loop->region, m_.costs().loop_post_words,
-                          UserAct::loop_setup, [this, loop, &lead, k] {
+                          UserAct::loop_setup,
+                          [this, loop, &lead, k = std::move(k)]() mutable {
             const std::uint32_t seq = loop->seq;
             activity_->update(lead, [seq](std::uint64_t) { return seq; },
                               UserAct::loop_setup,
-                              [this, loop, &lead, k](std::uint64_t) {
+                              [this, loop, &lead,
+                               k = std::move(k)](std::uint64_t) mutable {
                 m_.trace().post(m_.now(), lead.id(),
                                 EventId::loop_setup_exit, loop->seq);
                 // The main task participates like any cluster task,
                 // then spin-waits for the helpers to detach.
-                participate(0, loop, [this, loop, &lead, k] {
+                participate(0, loop,
+                            [this, loop, &lead,
+                             k = std::move(k)]() mutable {
                     m_.trace().post(m_.now(), lead.id(),
                                     EventId::barrier_enter, loop->seq);
                     loop->attachCell->wait(
                         lead, [](std::uint64_t v) { return v == 0; },
-                        UserAct::barrier_wait, [this, loop, &lead, k] {
+                        UserAct::barrier_wait,
+                        [this, loop, &lead, k = std::move(k)] {
                             m_.trace().post(m_.now(), lead.id(),
                                             EventId::barrier_exit,
                                             loop->seq);
@@ -441,19 +456,27 @@ Runtime::participate(sim::ClusterId c, const LoopPtr &loop, sim::Cont done)
     auto &cluster = m_.cluster(c);
     const unsigned nces = cluster.numCes();
     cluster.bus().expect(nces);
+    // Only CE 0's bus arrival resumes the cluster task; the other
+    // CEs' chains never need the continuation, so it is moved into
+    // the j == 0 chain alone rather than copied cluster-wide.
     for (unsigned j = 0; j < nces; ++j) {
         auto &ce = cluster.ce(static_cast<int>(j));
-        xdoallCeLoop(ce, loop, [this, c, &cluster, &ce, j, done] {
-            cluster.bus().arrive(ce, UserAct::iter_pickup,
-                                 [this, c, &ce, j, done] {
-                if (j == 0) {
+        if (j == 0) {
+            xdoallCeLoop(ce, loop,
+                         [this, c, &cluster, &ce,
+                          done = std::move(done)]() mutable {
+                cluster.bus().arrive(ce, UserAct::iter_pickup,
+                                     [this, c, done = std::move(done)] {
                     windowExit(c, false);
                     done();
-                } else {
-                    ce.markIdle();
-                }
+                });
             });
-        });
+        } else {
+            xdoallCeLoop(ce, loop, [&cluster, &ce] {
+                cluster.bus().arrive(ce, UserAct::iter_pickup,
+                                     [&ce] { ce.markIdle(); });
+            });
+        }
     }
 }
 
@@ -469,7 +492,7 @@ Runtime::acquireIndexLock(hw::Ce &ce, const LoopPtr &loop, sim::Cont k)
     // negligible next to the initial burst.
     ce.globalRmw(loop->iterCell->addr(),
                  [](std::uint64_t n) { return n; }, UserAct::iter_pickup,
-                 [&ce, loop, k = std::move(k)](std::uint64_t) {
+                 [&ce, loop, k = std::move(k)](std::uint64_t) mutable {
         if (!loop->lockBusy) {
             loop->lockBusy = true;
             k();
@@ -490,15 +513,14 @@ Runtime::releaseIndexLock(const LoopPtr &loop)
     auto [ce, k] = std::move(loop->lockWaiters.front());
     loop->lockWaiters.pop_front();
     // Hand-off: the lock stays busy; the waiter resumes now.
-    m_.eq().scheduleIn(0, [ce, k = std::move(k)] {
+    m_.eq().scheduleIn(0, [ce = ce, k = std::move(k)] {
         ce->endWaitUser(UserAct::iter_pickup);
         k();
     });
 }
 
 void
-Runtime::pickupIndex(hw::Ce &ce, const LoopPtr &loop,
-                     const hw::Ce::ValCont &k)
+Runtime::pickupIndex(hw::Ce &ce, const LoopPtr &loop, hw::Ce::ValCont k)
 {
     // Pick-next-iteration: local bookkeeping, then the critical
     // section around the index word — test&set acquire, bump the
@@ -513,7 +535,7 @@ Runtime::pickupIndex(hw::Ce &ce, const LoopPtr &loop,
     m_.trace().post(m_.now(), ce.id(), EventId::pickup_enter, loop->seq);
     const std::uint64_t block = std::max(1u, loop->spec->pickupBlock);
     ce.compute(m_.costs().pickup_local, UserAct::iter_pickup,
-               [this, &ce, loop, k, block] {
+               [this, &ce, loop, k = std::move(k), block]() mutable {
         auto &blk = loop->blocks[ce.cluster()];
         if (blk.next < blk.end) {
             const std::uint64_t idx = blk.next++;
@@ -522,7 +544,9 @@ Runtime::pickupIndex(hw::Ce &ce, const LoopPtr &loop,
             k(idx);
             return;
         }
-        acquireIndexLock(ce, loop, [this, &ce, loop, k, block] {
+        acquireIndexLock(ce, loop,
+                         [this, &ce, loop, k = std::move(k),
+                          block]() mutable {
             // Re-check under the lock: a cluster-mate may have
             // refilled the block while this CE waited.
             auto &blk2 = loop->blocks[ce.cluster()];
@@ -537,12 +561,13 @@ Runtime::pickupIndex(hw::Ce &ce, const LoopPtr &loop,
             loop->iterCell->update(
                 ce, [block](std::uint64_t n) { return n + block; },
                 UserAct::iter_pickup,
-                [this, &ce, loop, k, block](std::uint64_t idx) {
+                [this, &ce, loop, k = std::move(k),
+                 block](std::uint64_t idx) mutable {
                     ce.globalRmw(loop->iterCell->addr(),
                                  [](std::uint64_t n) { return n; },
                                  UserAct::iter_pickup,
-                                 [this, &ce, loop, k, block,
-                                  idx](std::uint64_t) {
+                                 [this, &ce, loop, k = std::move(k), block,
+                                  idx](std::uint64_t) mutable {
                         releaseIndexLock(loop);
                         std::uint64_t take = idx;
                         if (block > 1 && idx < loop->spec->outerIters) {
@@ -568,14 +593,17 @@ Runtime::pickOuter(sim::ClusterId c, const LoopPtr &loop, sim::Cont done)
 {
     auto &lead = m_.cluster(c).lead();
     pickupIndex(lead, loop,
-                [this, c, loop, done = std::move(done)](std::uint64_t idx) {
+                [this, c, loop,
+                 done = std::move(done)](std::uint64_t idx) mutable {
         if (idx >= loop->spec->outerIters) {
             done();
             return;
         }
         ++stats_.outerIters;
-        execOuterIteration(c, loop, idx, [this, c, loop, done] {
-            pickOuter(c, loop, done);
+        execOuterIteration(c, loop, idx,
+                           [this, c, loop,
+                            done = std::move(done)]() mutable {
+            pickOuter(c, loop, std::move(done));
         });
     });
 }
@@ -592,10 +620,11 @@ Runtime::execOuterIteration(sim::ClusterId c, const LoopPtr &loop,
 
     cluster.bus().expect(nces);
     // The lead dispatches the cdoall over the concurrency bus, then
-    // executes its own share like everyone else.
+    // executes its own share like everyone else. Only CE 0's arrival
+    // carries the continuation onward.
     lead.compute(cluster.bus().dispatchCost(), UserAct::iter_pickup,
-                 [this, c, loop, &cluster, nces, inner, chunk, outer_idx,
-                  k = std::move(k)] {
+                 [this, loop, &cluster, nces, inner, chunk, outer_idx,
+                  k = std::move(k)]() mutable {
         for (unsigned j = 0; j < nces; ++j) {
             auto &ce = cluster.ce(static_cast<int>(j));
             const std::uint64_t first = static_cast<std::uint64_t>(j) *
@@ -607,17 +636,21 @@ Runtime::execOuterIteration(sim::ClusterId c, const LoopPtr &loop,
             // The intra-cluster sync wait is folded into loop
             // execution, matching the paper (the cdoall sync
             // overhead is not separated out).
-            runShare(ce, loop, outer_idx * inner + first, count, nullptr,
-                     UserAct::iter_exec,
-                     [this, c, &cluster, &ce, j, k] {
-                cluster.bus().arrive(ce, UserAct::iter_exec,
-                                     [&ce, j, k] {
-                    if (j == 0)
-                        k();
-                    else
-                        ce.markIdle();
+            if (j == 0) {
+                runShare(ce, loop, outer_idx * inner + first, count,
+                         nullptr, UserAct::iter_exec,
+                         [&cluster, &ce, k = std::move(k)]() mutable {
+                    cluster.bus().arrive(ce, UserAct::iter_exec,
+                                         std::move(k));
                 });
-            });
+            } else {
+                runShare(ce, loop, outer_idx * inner + first, count,
+                         nullptr, UserAct::iter_exec,
+                         [&cluster, &ce] {
+                    cluster.bus().arrive(ce, UserAct::iter_exec,
+                                         [&ce] { ce.markIdle(); });
+                });
+            }
         }
     });
 }
@@ -629,14 +662,14 @@ Runtime::xdoallCeLoop(hw::Ce &ce, const LoopPtr &loop, sim::Cont k)
     // iterations through the shared index lock — the hot spot the
     // paper attributes the xdoall distribution overhead to.
     pickupIndex(ce, loop, [this, &ce, loop,
-                           k = std::move(k)](std::uint64_t idx) {
+                           k = std::move(k)](std::uint64_t idx) mutable {
         if (idx >= loop->spec->outerIters) {
             k();
             return;
         }
         execBody(ce, loop, idx, nullptr, UserAct::iter_exec,
-                 [this, &ce, loop, k] {
-            xdoallCeLoop(ce, loop, k);
+                 [this, &ce, loop, k = std::move(k)]() mutable {
+            xdoallCeLoop(ce, loop, std::move(k));
         });
     });
 }
@@ -661,7 +694,7 @@ Runtime::execMainClusterLoop(unsigned step, unsigned phase_idx,
     cluster.bus().expect(nces);
     lead.compute(cluster.bus().dispatchCost(), UserAct::mc_loop,
                  [this, loop, &cluster, &lead, nces, total, chunk,
-                  k = std::move(k)] {
+                  k = std::move(k)]() mutable {
         for (unsigned j = 0; j < nces; ++j) {
             auto &ce = cluster.ce(static_cast<int>(j));
             const std::uint64_t first = static_cast<std::uint64_t>(j) *
@@ -670,22 +703,28 @@ Runtime::execMainClusterLoop(unsigned step, unsigned phase_idx,
                 first >= total
                     ? 0
                     : std::min<std::uint64_t>(chunk, total - first);
-            runShare(ce, loop, first, count, loop->serializer.get(),
-                     UserAct::mc_loop,
-                     [this, loop, &cluster, &ce, &lead, j, k] {
-                cluster.bus().arrive(ce, UserAct::mc_loop,
-                                     [this, loop, &ce, &lead, j, k] {
-                    if (j == 0) {
+            if (j == 0) {
+                runShare(ce, loop, first, count, loop->serializer.get(),
+                         UserAct::mc_loop,
+                         [this, loop, &cluster, &ce, &lead,
+                          k = std::move(k)]() mutable {
+                    cluster.bus().arrive(ce, UserAct::mc_loop,
+                                         [this, loop, &lead,
+                                          k = std::move(k)] {
                         windowExit(0, true);
                         m_.trace().post(m_.now(), lead.id(),
                                         EventId::mcloop_exit, loop->seq);
                         loop->open = false;
                         k();
-                    } else {
-                        ce.markIdle();
-                    }
+                    });
                 });
-            });
+            } else {
+                runShare(ce, loop, first, count, loop->serializer.get(),
+                         UserAct::mc_loop, [&cluster, &ce] {
+                    cluster.bus().arrive(ce, UserAct::mc_loop,
+                                         [&ce] { ce.markIdle(); });
+                });
+            }
         }
     });
 }
@@ -703,8 +742,9 @@ Runtime::runShare(hw::Ce &ce, const LoopPtr &loop, std::uint64_t first,
     }
     execBody(ce, loop, first, serializer, act,
              [this, &ce, loop, first, count, serializer, act,
-              k = std::move(k)] {
-        runShare(ce, loop, first + 1, count - 1, serializer, act, k);
+              k = std::move(k)]() mutable {
+        runShare(ce, loop, first + 1, count - 1, serializer, act,
+                 std::move(k));
     });
 }
 
@@ -749,7 +789,7 @@ Runtime::execBody(hw::Ce &ce, const LoopPtr &loop, std::uint64_t iter_key,
     const sim::Addr addr = bodyAddr(*loop, iter_key);
 
     auto after_body = [this, &ce, loop, serializer, act,
-                       k = std::move(k)] {
+                       k = std::move(k)]() mutable {
         if (!serializer) {
             m_.trace().post(m_.now(), ce.id(), EventId::iter_end,
                             loop->seq);
@@ -757,15 +797,16 @@ Runtime::execBody(hw::Ce &ce, const LoopPtr &loop, std::uint64_t iter_key,
             return;
         }
         // CDOACROSS: the serialised region runs in ticket order.
-        const auto &spec = *loop->spec;
+        const sim::Tick serial_region = loop->spec->serialRegion;
         const sim::Tick start_at =
-            serializer->serve(m_.now(), spec.serialRegion) -
-            spec.serialRegion;
+            serializer->serve(m_.now(), serial_region) - serial_region;
         ce.beginWait();
-        m_.eq().schedule(start_at, [this, &ce, loop, spec, act, k] {
+        m_.eq().schedule(start_at,
+                         [this, &ce, loop, serial_region, act,
+                          k = std::move(k)]() mutable {
             ce.endWaitUser(act);
-            ce.compute(std::max<sim::Tick>(spec.serialRegion, 1), act,
-                       [this, &ce, loop, k] {
+            ce.compute(std::max<sim::Tick>(serial_region, 1), act,
+                       [this, &ce, loop, k = std::move(k)] {
                 m_.trace().post(m_.now(), ce.id(), EventId::iter_end,
                                 loop->seq);
                 k();
@@ -779,13 +820,18 @@ Runtime::execBody(hw::Ce &ce, const LoopPtr &loop, std::uint64_t iter_key,
         addr > s.haloWords ? addr - s.haloWords : 0;
     const unsigned touch_words = s.words + 2 * s.haloWords;
 
-    auto touch_and_run = [this, &ce, addr, touch_from, touch_words, s,
-                          compute, act,
-                          after_body = std::move(after_body)] {
+    // Capture the three LoopSpec scalars the burst executor needs
+    // rather than the whole spec (a LoopSpec copy per iteration).
+    auto touch_and_run = [this, &ce, addr, touch_from, touch_words,
+                          words = s.words, burst_len = s.burstLen,
+                          prefetch = s.prefetch, compute, act,
+                          after_body = std::move(after_body)]() mutable {
         touchBodyPages(ce, touch_from, touch_words,
-                       [this, &ce, addr, s, compute, act, after_body] {
-            execBursts(ce, addr, s.words, s.burstLen, compute,
-                       s.prefetch, act, after_body);
+                       [this, &ce, addr, words, burst_len, prefetch,
+                        compute, act,
+                        after_body = std::move(after_body)]() mutable {
+            execBursts(ce, addr, words, burst_len, compute, prefetch,
+                       act, std::move(after_body));
         });
     };
 
@@ -820,20 +866,20 @@ Runtime::execBursts(hw::Ce &ce, sim::Addr addr, unsigned words,
     const unsigned len = std::min(words, burst_len);
 
     auto next = [this, &ce, addr, words, burst_len, len, compute, slice,
-                 prefetch, act, k = std::move(k)] {
+                 prefetch, act, k = std::move(k)]() mutable {
         const unsigned remaining = words - len;
         const sim::Tick rem_compute =
             compute > slice ? compute - slice : 0;
         if (remaining == 0) {
             if (rem_compute > 0) {
-                ce.compute(rem_compute, act, k);
+                ce.compute(rem_compute, act, std::move(k));
             } else {
                 k();
             }
             return;
         }
         execBursts(ce, addr + len, remaining, burst_len, rem_compute,
-                   prefetch, act, k);
+                   prefetch, act, std::move(k));
     };
 
     if (prefetch) {
@@ -842,9 +888,9 @@ Runtime::execBursts(hw::Ce &ce, sim::Addr addr, unsigned words,
         ce.computeWithPrefetch(slice, addr, len, act, std::move(next));
         return;
     }
-    ce.compute(slice, act, [this, &ce, addr, len, act,
-                            next = std::move(next)] {
-        ce.globalAccess(addr, len, act, next);
+    ce.compute(slice, act, [&ce, addr, len, act,
+                            next = std::move(next)]() mutable {
+        ce.globalAccess(addr, len, act, std::move(next));
     });
 }
 

@@ -183,6 +183,20 @@ class Runtime
         std::uint64_t progress = 0;
     };
 
+    /**
+     * State of one serial section's segment chain (compute
+     * interleaved with I/O blocks). Shared between the recursive
+     * serialSegment() continuations; holding the exit continuation
+     * here keeps those closures down to [this, st, i].
+     */
+    struct SerialRun
+    {
+        hw::Ce *lead = nullptr;
+        unsigned segments = 0;
+        sim::Tick seg = 0;
+        sim::Cont finish;
+    };
+
     hw::Ce &mainLead() { return m_.cluster(0).lead(); }
 
     // Program driver (runs on the main task's lead CE).
@@ -194,6 +208,7 @@ class Runtime
 
     void execSerial(unsigned phase_idx, const apps::SerialSpec &s,
                     sim::Cont k);
+    void serialSegment(const std::shared_ptr<SerialRun> &st, unsigned i);
     void execSpreadLoop(unsigned step, unsigned phase_idx,
                         const apps::LoopSpec &s, sim::Cont k);
     void execMainClusterLoop(unsigned step, unsigned phase_idx,
@@ -213,8 +228,7 @@ class Runtime
      * index lock, fetch&add the index word, release. @p k receives
      * the picked index.
      */
-    void pickupIndex(hw::Ce &ce, const LoopPtr &loop,
-                     const hw::Ce::ValCont &k);
+    void pickupIndex(hw::Ce &ce, const LoopPtr &loop, hw::Ce::ValCont k);
     void acquireIndexLock(hw::Ce &ce, const LoopPtr &loop, sim::Cont k);
     void releaseIndexLock(const LoopPtr &loop);
     void execOuterIteration(sim::ClusterId c, const LoopPtr &loop,

@@ -6,13 +6,14 @@ namespace cedar::rtl
 {
 
 void
-SyncCell::update(hw::Ce &ce, const hw::Ce::RmwFn &f, os::UserAct act,
-                 const hw::Ce::ValCont &k)
+SyncCell::update(hw::Ce &ce, hw::Ce::RmwFn f, os::UserAct act,
+                 hw::Ce::ValCont k)
 {
-    ce.globalRmw(addr_, f, act, [this, k](std::uint64_t old) {
-        notify();
-        k(old);
-    });
+    ce.globalRmw(addr_, std::move(f), act,
+                 [this, k = std::move(k)](std::uint64_t old) mutable {
+                     notify();
+                     k(old);
+                 });
 }
 
 void
@@ -61,7 +62,7 @@ SyncCell::wake(std::size_t stagger, Waiter w)
     const sim::Tick base = m_.costs().spin_wake_latency;
     const sim::Tick delay = base / 2 + 1 +
                             (static_cast<sim::Tick>(stagger) * 7) % base;
-    m_.eq().scheduleIn(delay, [this, w = std::move(w)] {
+    m_.eq().scheduleIn(delay, [this, w = std::move(w)]() mutable {
         // The value may have changed again while the waiter was
         // waking; re-check, as a real poll loop would.
         if (w.pred(value())) {

@@ -20,7 +20,6 @@
 #define CEDAR_RTL_SYNC_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "hw/machine.hh"
@@ -33,7 +32,7 @@ namespace cedar::rtl
 class SyncCell
 {
   public:
-    using Pred = std::function<bool(std::uint64_t)>;
+    using Pred = sim::SmallFn<bool(std::uint64_t)>;
 
     SyncCell(hw::Machine &m, sim::Addr addr) : m_(m), addr_(addr) {}
 
@@ -47,8 +46,8 @@ class SyncCell
      * Timed atomic update through the network by @p ce, accounted
      * to @p act; waiters are re-evaluated when it lands.
      */
-    void update(hw::Ce &ce, const hw::Ce::RmwFn &f, os::UserAct act,
-                const hw::Ce::ValCont &k);
+    void update(hw::Ce &ce, hw::Ce::RmwFn f, os::UserAct act,
+                hw::Ce::ValCont k);
 
     /**
      * Spin until @p pred holds on the cell value. The CE is active

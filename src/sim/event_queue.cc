@@ -64,7 +64,13 @@ EventQueue::runUntil(Tick until, std::uint64_t limit)
         ++n;
         popNext()();
     }
-    if (_now < until && !events_.empty())
+    // Both success exits — boundary reached and drain-to-empty —
+    // leave now() == until, so a subsequent scheduleIn() measures
+    // its delta from the boundary rather than from the last executed
+    // event. The limit-hit exit above must NOT advance: the caller's
+    // budget expired mid-window and time stays where execution
+    // actually stopped.
+    if (_now < until)
         _now = until;
     return true;
 }

@@ -12,9 +12,9 @@
 #define CEDAR_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/cont.hh"
 #include "sim/dary_heap.hh"
 #include "sim/error.hh"
 #include "sim/types.hh"
@@ -81,6 +81,19 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Continuation-arena counters for the calling thread (the arena
+     * is thread-local, so this reflects whichever thread runs this
+     * queue — in a sweep, the worker that owns the run). Sampled
+     * before/after a run to assert steady-state allocation-freedom:
+     * `heapAllocs` must stop growing once every size class has
+     * reached its high-water mark.
+     */
+    static const ContAllocStats &allocStats()
+    {
+        return ContArena::instance().stats();
+    }
+
     /** Pre-size heap and slot pool for an expected population. */
     void
     reserve(std::size_t n)
@@ -101,8 +114,10 @@ class EventQueue
     /**
      * Run events with timestamps <= @p until (inclusive), stopping
      * early if the queue drains or @p limit events have executed.
-     * Unless the limit fires, afterwards now() == until (or the
-     * drain time if the queue drained before reaching it).
+     * Unless the limit fires, afterwards now() == until — including
+     * when the queue drained before reaching the boundary, so a
+     * subsequent scheduleIn() is relative to the boundary. When the
+     * limit fires, now() stays at the last executed event.
      *
      * @return true if the time boundary was reached (or the queue
      *         drained), false if the event limit hit first — the

@@ -7,7 +7,8 @@
 #define CEDAR_SIM_TYPES_HH
 
 #include <cstdint>
-#include <functional>
+
+#include "sim/cont.hh"
 
 namespace cedar::sim
 {
@@ -63,11 +64,24 @@ ticksToSeconds(Tick t, double clock_hz = default_clock_hz)
     return static_cast<double>(t) / clock_hz;
 }
 
-/** Convert model seconds into ticks at a given clock. */
+/**
+ * Convert model seconds into ticks at a given clock, saturating to
+ * [0, max_tick]. The raw `static_cast<Tick>(s * clock_hz)` is
+ * undefined for negative or >= 2^64 products (and NaN); clamping
+ * keeps the function total, consistent with satAdd/satShl. Note the
+ * upper comparison uses `>=`: max_tick (2^64-1) is not representable
+ * as a double and rounds up to exactly 2^64, so products at or above
+ * that value must all map to max_tick.
+ */
 inline Tick
 secondsToTicks(double s, double clock_hz = default_clock_hz)
 {
-    return static_cast<Tick>(s * clock_hz);
+    const double t = s * clock_hz;
+    if (!(t > 0.0)) // negative, zero, or NaN
+        return 0;
+    if (t >= static_cast<double>(max_tick))
+        return max_tick;
+    return static_cast<Tick>(t);
 }
 
 /**
@@ -75,9 +89,20 @@ secondsToTicks(double s, double clock_hz = default_clock_hz)
  * programs: every potentially blocking primitive (compute slice,
  * memory access, lock acquisition, spin poll) takes a continuation
  * that is invoked, via the event queue, when the primitive
- * completes.
+ * completes. Move-only small-buffer storage (sim/cont.hh): the hot
+ * loop builds, moves and destroys one of these per event, so the
+ * capture lives inline or in the thread-local continuation arena —
+ * never behind a per-event `operator new`.
  */
-using Cont = std::function<void()>;
+using Cont = SmallFn<void()>;
+
+/** Value-carrying continuation (RMW completions deliver the old
+ *  value through one of these). */
+using ValCont = SmallFn<void(std::uint64_t)>;
+
+/** Read-modify-write combining function applied at the memory
+ *  module: old word in, new word out. */
+using RmwFn = SmallFn<std::uint64_t(std::uint64_t)>;
 
 /** Identifies a computational element globally (0..nCes-1). */
 using CeId = int;

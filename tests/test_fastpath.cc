@@ -156,10 +156,26 @@ TEST(FastPathIdentity, AllPaperAppsEightProcs)
 TEST(FastPathIdentity, Flo52AcrossMachineSizes)
 {
     const auto app = apps::perfectAppByName("FLO52");
-    for (const unsigned p : {1u, 4u, 32u}) {
+    for (const unsigned p : {1u, 4u, 16u, 32u}) {
         SCOPED_TRACE(p);
         expectBitIdentical(runPoint(app, p, true, 0.03),
                            runPoint(app, p, false, 0.03));
+    }
+}
+
+TEST(FastPathIdentity, Arc2dConvoyGeometries)
+{
+    // ARC2D at 16/32p is where convoy phases produce the widest
+    // spread of offset vectors — the workload the don't-care
+    // canonicalization (DESIGN.md §10) exists for. Identity must
+    // hold with the canonicalized keying engaged.
+    const auto app = apps::perfectAppByName("ARC2D");
+    for (const unsigned p : {16u, 32u}) {
+        SCOPED_TRACE(p);
+        const auto fast = runPoint(app, p, true, 0.02);
+        const auto slow = runPoint(app, p, false, 0.02);
+        EXPECT_GT(fast.fastPathHits, 0u);
+        expectBitIdentical(fast, slow);
     }
 }
 
@@ -363,6 +379,40 @@ TEST(FastPathNetwork, ContendedConvoyRepliesBitIdentical)
     EXPECT_GT(t.fast.fastStats().hits(), 0u);
     EXPECT_GT(t.fast.fastPatterns(), 0u);
     EXPECT_EQ(t.slow.fastStats().hits(), 0u);
+}
+
+TEST(FastPathNetwork, DontCareOffsetsCollapseOntoFewPatterns)
+{
+    // Issue burst pairs at a sweep of spacings d. For d past the
+    // shared ports' residual service but before their horizons fully
+    // drain, the second burst sees offsets that are non-zero yet
+    // provably harmless (each at or below the shape's idle first
+    // arrival at that server). Canonicalization zeroes them before
+    // the cache lookup, so that whole band of spacings lands on the
+    // same canonical pattern instead of learning one per spacing —
+    // while staying bit-identical to the slow path.
+    TwinNets t;
+    unsigned rounds = 0;
+    for (Tick d = 30; d < 70; ++d, ++rounds) {
+        // Each spacing twice: patterns build on the second sighting.
+        for (int rep = 0; rep < 2; ++rep) {
+            const Tick base = (d * 2 + static_cast<Tick>(rep)) * 100000;
+            const auto a0 = t.fast.burst(base, 0, 0, 0, 32);
+            const auto b0 = t.slow.burst(base, 0, 0, 0, 32);
+            ASSERT_EQ(a0.complete, b0.complete) << "lead, spacing " << d;
+            const auto a1 = t.fast.burst(base + d, 0, 1, 0, 32);
+            const auto b1 = t.slow.burst(base + d, 0, 1, 0, 32);
+            ASSERT_EQ(a1.complete, b1.complete) << "spacing " << d;
+            ASSERT_EQ(a1.unloaded, b1.unloaded);
+        }
+    }
+    EXPECT_EQ(t.fast.totalWaitTicks(), t.slow.totalWaitTicks());
+    EXPECT_GT(t.fast.fastStats().hits(), 0u);
+    // Without canonicalization every spacing whose residuals had not
+    // fully drained would be a distinct learned pattern (~one per
+    // spacing). With it, the harmless band collapses onto the idle
+    // vector: far fewer patterns than spacings swept.
+    EXPECT_LT(t.fast.fastPatterns(), rounds / 2);
 }
 
 TEST(FastPathNetwork, DisabledPathReportsOnlyMisses)

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "sim/dary_heap.hh"
@@ -264,6 +265,33 @@ TEST(EventQueue, RunUntilAdvancesToBoundaryWhenUnderLimit)
     EXPECT_TRUE(eq.runUntil(20, 1000));
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, RunUntilDrainedQueueAdvancesNowToBoundary)
+{
+    // Regression: when the queue drained before the boundary,
+    // runUntil used to leave now() at the last executed event
+    // instead of the requested time, so back-to-back slice calls
+    // (the Runtime's watchdog loop) saw time stand still and a
+    // subsequent scheduleIn() landed earlier than the caller's
+    // boundary implied. Draining must advance now() to `until`
+    // exactly like running out the clock does.
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(eq.runUntil(100));
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 100u);
+    // An already-empty queue advances too.
+    EXPECT_TRUE(eq.runUntil(250));
+    EXPECT_EQ(eq.now(), 250u);
+    // And scheduling relative to the drained boundary lands where
+    // the caller expects.
+    eq.scheduleIn(5, [&] { ++fired; });
+    EXPECT_TRUE(eq.runUntil(300));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 300u);
 }
 
 TEST(EventQueue, ScheduleInOverflowThrows)
@@ -556,6 +584,29 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FifoServerProperty,
 TEST(Types, TickSecondsRoundTrip)
 {
     EXPECT_DOUBLE_EQ(ticksToSeconds(secondsToTicks(1.5)), 1.5);
+    EXPECT_EQ(secondsToTicks(1.0, 1e6), 1000000u);
+}
+
+TEST(SatArith, SecondsToTicksSaturatesInsteadOfCastingUB)
+{
+    // The historical bug: static_cast<Tick>(s * clock_hz) is UB for
+    // negative products and for anything at or past 2^64. Saturate
+    // to [0, max_tick] instead, consistent with satAdd/satShl.
+    EXPECT_EQ(secondsToTicks(-1.0), 0u);
+    EXPECT_EQ(secondsToTicks(-1e30), 0u);
+    EXPECT_EQ(secondsToTicks(0.0), 0u);
+    EXPECT_EQ(secondsToTicks(std::nan("")), 0u);
+    EXPECT_EQ(secondsToTicks(1e30), max_tick);
+    EXPECT_EQ(secondsToTicks(std::numeric_limits<double>::infinity()),
+              max_tick);
+    // 2^64 - 1 is not a double; the nearest rounds up to exactly
+    // 2^64, so the boundary test must be >=, not >. The largest
+    // double *below* 2^64 still converts exactly.
+    EXPECT_EQ(secondsToTicks(2.0, 9.3e18), max_tick);
+    EXPECT_EQ(secondsToTicks(1.0, 18446744073709549568.0),
+              18446744073709549568ull);
+    // Ordinary magnitudes are untouched.
+    EXPECT_EQ(secondsToTicks(0.5, 100.0), 50u);
     EXPECT_EQ(secondsToTicks(1.0, 1e6), 1000000u);
 }
 

@@ -1,8 +1,10 @@
 #include "bench_json.hh"
 
 #include <array>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cedar::tools
 {
@@ -177,6 +179,301 @@ JsonWriter::value(bool v)
     separator();
     os_ << (v ? "true" : "false");
     return *this;
+}
+
+// ---------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------
+
+/** Recursive-descent parser over the emitter's JSON subset. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw JsonParseError("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        const std::size_t n = std::string(w).size();
+        if (s_.compare(pos_, n, w) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        const char c = peek();
+        JsonValue v;
+        switch (c) {
+        case '{': {
+            v.kind_ = JsonValue::Kind::object;
+            ++pos_;
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            for (;;) {
+                if (peek() != '"')
+                    fail("expected object key");
+                std::string k = string();
+                expect(':');
+                v.obj_.emplace_back(std::move(k), value());
+                const char n = peek();
+                ++pos_;
+                if (n == '}')
+                    return v;
+                if (n != ',')
+                    fail("expected ',' or '}' in object");
+            }
+        }
+        case '[': {
+            v.kind_ = JsonValue::Kind::array;
+            ++pos_;
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            for (;;) {
+                v.arr_.push_back(value());
+                const char n = peek();
+                ++pos_;
+                if (n == ']')
+                    return v;
+                if (n != ',')
+                    fail("expected ',' or ']' in array");
+            }
+        }
+        case '"':
+            v.kind_ = JsonValue::Kind::string;
+            v.str_ = string();
+            return v;
+        case 't':
+            if (!consumeWord("true"))
+                fail("bad literal");
+            v.kind_ = JsonValue::Kind::boolean;
+            v.b_ = true;
+            return v;
+        case 'f':
+            if (!consumeWord("false"))
+                fail("bad literal");
+            v.kind_ = JsonValue::Kind::boolean;
+            v.b_ = false;
+            return v;
+        case 'n':
+            if (!consumeWord("null"))
+                fail("bad literal");
+            v.kind_ = JsonValue::Kind::null;
+            return v;
+        default:
+            return number();
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            c = s_[pos_++];
+            switch (c) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // The emitter only writes \u00xx control escapes;
+                // reject surrogates rather than mis-decode them.
+                if (cp >= 0xd800 && cp <= 0xdfff)
+                    fail("surrogate \\u escapes unsupported");
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+            }
+            default:
+                fail("bad escape character");
+            }
+        }
+        if (pos_ >= s_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            const std::size_t d0 = pos_;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                ++pos_;
+            if (pos_ == d0)
+                fail("expected digits");
+        };
+        digits();
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            digits();
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            digits();
+        }
+        const std::string tok = s_.substr(start, pos_ - start);
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::number;
+        v.num_ = std::strtod(tok.c_str(), nullptr);
+        return v;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::boolean)
+        throw JsonParseError("JSON value is not a boolean");
+    return b_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::number)
+        throw JsonParseError("JSON value is not a number");
+    return num_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::string)
+        throw JsonParseError("JSON value is not a string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (kind_ != Kind::array)
+        throw JsonParseError("JSON value is not an array");
+    return arr_;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &k) const
+{
+    if (kind_ != Kind::object)
+        throw JsonParseError("JSON value is not an object");
+    for (const auto &kv : obj_)
+        if (kv.first == k)
+            return kv.second;
+    throw JsonParseError("missing JSON key \"" + k + "\"");
+}
+
+bool
+JsonValue::has(const std::string &k) const
+{
+    if (kind_ != Kind::object)
+        return false;
+    for (const auto &kv : obj_)
+        if (kv.first == k)
+            return true;
+    return false;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).document();
 }
 
 } // namespace cedar::tools

@@ -1,14 +1,19 @@
 /**
  * @file
- * A tiny dependency-free JSON emitter for benchmark artifacts.
+ * A tiny dependency-free JSON emitter and reader for benchmark
+ * artifacts.
  *
  * The perf-regression harness (bench/sweep_perf) writes
  * BENCH_sweep.json so every PR leaves a machine-readable performance
- * trajectory behind. This writer covers exactly what that needs:
- * nested objects/arrays, string/number/bool scalars, correct string
- * escaping, and round-trippable numbers (shortest representation
- * that parses back exactly). Commas and key/value ordering are
- * handled by a context stack, so call sites read like the document.
+ * trajectory behind, and the delta reporter (tools/bench_delta)
+ * reads two of those files back to compare trajectories. The writer
+ * covers exactly what the harness needs: nested objects/arrays,
+ * string/number/bool scalars, correct string escaping, and
+ * round-trippable numbers (shortest representation that parses back
+ * exactly). Commas and key/value ordering are handled by a context
+ * stack, so call sites read like the document. The reader is a
+ * strict recursive-descent parser over the same subset (full RFC
+ * 8259 minus \\u surrogate pairs, which the emitter never produces).
  */
 
 #ifndef CEDAR_TOOLS_BENCH_JSON_HH
@@ -16,7 +21,9 @@
 
 #include <cstdint>
 #include <ostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cedar::tools
@@ -73,6 +80,54 @@ class JsonWriter
     std::vector<Ctx> stack_;
     bool firstInCtx_ = true;
     bool pendingKey_ = false;
+};
+
+/** Malformed input handed to JsonValue::parse. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * A parsed JSON document node. Heap-boxed children keep the type
+ * regular; benchmark artifacts are a few kilobytes, so convenience
+ * beats compactness here. Accessors throw JsonParseError on a type
+ * or key mismatch — for a delta tool, "this field is missing" is a
+ * diagnostic, not a crash.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { null, boolean, number, string, array, object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::null; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+
+    /** Member lookup; throws unless this is an object with key @p k. */
+    const JsonValue &at(const std::string &k) const;
+    /** True when this is an object containing key @p k. */
+    bool has(const std::string &k) const;
+
+    /** Parse one complete document; trailing garbage is an error. */
+    static JsonValue parse(const std::string &text);
+
+  private:
+    Kind kind_ = Kind::null;
+    bool b_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    /** Insertion-ordered members; a vector because std::map of an
+     *  incomplete element type is not portable. */
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+
+    friend class JsonParser;
 };
 
 } // namespace cedar::tools
