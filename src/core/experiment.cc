@@ -31,6 +31,8 @@ validateRunOptions(const RunOptions &opts)
         throw ConfigError(
             "run options: global-memory retries capped at 30 (backoff "
             "doubles per attempt)");
+    if (opts.runThreads == 0)
+        throw ConfigError("run options: run-threads must be >= 1");
 }
 
 RunResult
@@ -46,9 +48,11 @@ runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
     cfg.costs.gm_retry_backoff = opts.gmRetryBackoff;
     cfg.costs.gm_max_retries = opts.gmMaxRetries;
 
-    hw::Machine m(cfg);
+    hw::Machine m(cfg, opts.runThreads);
     m.trace().setEnabled(opts.collectTrace);
     m.net().setFastPath(opts.fastPath);
+    m.eq().setLookahead(opts.pdesLookahead);
+    m.eq().setWindow(opts.pdesWindow);
 
     // A scoped recorder subscribes the timeline to the machine's bus
     // for exactly this run; without it the tracer's wants() gates
@@ -105,6 +109,11 @@ runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
     r.metrics = obs::collectMetrics(m, r.ct);
     r.eventsExecuted = m.eq().executed();
     r.peakPending = m.eq().peakPending();
+    r.domainCount = m.eq().numDomains();
+    r.pdesWindows = m.eq().windows();
+    r.crossDomainPosts = m.eq().crossPosts();
+    r.peakPendingDomainSum = m.eq().domainPeakSum();
+    r.peakPendingDomainMax = m.eq().domainPeakMax();
     r.fastPathHits = m.net().fastStats().hits();
     r.fastPathMisses = m.net().fastStats().misses();
     r.fastPathPatterns = m.net().fastPatterns();

@@ -15,6 +15,7 @@
 
 #include "hw/ce.hh"
 #include "hw/concurrency_bus.hh"
+#include "sim/domain.hh"
 #include "sim/types.hh"
 
 namespace cedar::hw
@@ -24,9 +25,12 @@ namespace cedar::hw
 class Cluster
 {
   public:
-    Cluster(sim::EventQueue &eq, net::Network &net, os::Accounting &acct,
-            hpm::Trace &trace, const CostModel &costs, sim::ClusterId id,
-            unsigned n_ces);
+    /** @param eq the event domain owning this cluster's CE and bus
+     *  events (the machine's single queue, or its per-cluster
+     *  domain under a PDES partition — see sim/domain.hh). */
+    Cluster(sim::EventDomain &eq, net::Network &net,
+            os::Accounting &acct, hpm::Trace &trace,
+            const CostModel &costs, sim::ClusterId id, unsigned n_ces);
 
     sim::ClusterId id() const { return id_; }
     unsigned numCes() const { return static_cast<unsigned>(ces_.size()); }

@@ -1,0 +1,286 @@
+#include "sim/domain.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+// The scheduler fans independent groups out on the same bounded
+// worker pool the sweep runner uses. core/parallel depends on
+// nothing in sim, so the layering stays acyclic.
+#include "core/parallel.hh"
+
+namespace cedar::sim
+{
+
+namespace
+{
+
+/** Restore the executing-domain marker even when a callback throws
+ *  (the strict-lookahead check raises from inside event bodies). */
+struct ExecScope
+{
+    int &slot;
+    int saved;
+
+    ExecScope(int &s, int v) : slot(s), saved(s) { slot = v; }
+    ~ExecScope() { slot = saved; }
+};
+
+} // namespace
+
+DomainGroup::DomainGroup(unsigned n_domains)
+{
+    const unsigned n = std::max(n_domains, 1u);
+    domains_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        domains_.push_back(std::make_unique<EventQueue>());
+        domains_.back()->attach(this, i);
+    }
+}
+
+DomainGroup::~DomainGroup() = default;
+
+void
+DomainGroup::post(EventQueue &d, Tick when, Cont fn)
+{
+    if (when < now_)
+        throw ScheduleError("scheduling into the past");
+    const bool cross =
+        executing_ >= 0 &&
+        executing_ != static_cast<int>(d.domainIndex_);
+    if (cross) {
+        ++crossPosts_;
+        if (lookahead_ > 0 && when - now_ < lookahead_)
+            throw CausalityError(
+                "cross-domain post at +" +
+                std::to_string(when - now_) +
+                " ticks violates the declared lookahead of " +
+                std::to_string(lookahead_) + " ticks (domain " +
+                std::to_string(executing_) + " -> domain " +
+                std::to_string(d.domainIndex_) + ")");
+    }
+    const std::uint32_t slot = d.allocSlot(std::move(fn));
+    const Key key{when, nextSeq_++};
+    d.events_.push(EventQueue::Node{key.when, key.seq, slot});
+    if (d.events_.size() > d.peakPending_)
+        d.peakPending_ = d.events_.size();
+    ++pending_;
+    if (pending_ > peakPending_)
+        peakPending_ = pending_;
+    // A cross post below the in-flight merge bound means the batch's
+    // owner is no longer guaranteed minimal past this key: lower the
+    // bound so the batch loop re-selects before running beyond it.
+    if (cross && key < batchBound_)
+        batchBound_ = key;
+}
+
+void
+DomainGroup::execOne(EventQueue &d)
+{
+    const EventQueue::Node node = d.events_.popMin();
+    assert(node.when >= now_);
+    now_ = node.when;
+    d._now = node.when;
+    ++executed_;
+    ++d.executed_;
+    --pending_;
+    Cont fn = std::move(d.slots_[node.slot]);
+    d.freeSlots_.push_back(node.slot);
+    ExecScope scope(executing_, static_cast<int>(d.domainIndex_));
+    fn();
+}
+
+DomainGroup::Key
+DomainGroup::boundExcluding(const EventQueue *skip) const
+{
+    Key bound = key_max;
+    for (const auto &d : domains_) {
+        if (d.get() == skip || d->events_.empty())
+            continue;
+        const auto &m = d->events_.min();
+        const Key k{m.when, m.seq};
+        if (k < bound)
+            bound = k;
+    }
+    return bound;
+}
+
+bool
+DomainGroup::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    if (domains_.size() == 1) {
+        // Single domain: the merge bound is infinite and the loop is
+        // exactly the legacy single-queue kernel (zero overhead for
+        // --run-threads 1 runs).
+        EventQueue &d = *domains_.front();
+        if (!d.events_.empty())
+            ++windows_;
+        while (!d.events_.empty()) {
+            if (n >= limit)
+                return false;
+            ++n;
+            execOne(d);
+        }
+        return true;
+    }
+    while (pending_ > 0) {
+        // Select the domain owning the globally minimal key and the
+        // merge bound (minimal key of everyone else).
+        EventQueue *win = nullptr;
+        Key kmin = key_max;
+        for (const auto &d : domains_) {
+            if (d->events_.empty())
+                continue;
+            const auto &m = d->events_.min();
+            const Key k{m.when, m.seq};
+            if (k < kmin) {
+                kmin = k;
+                win = d.get();
+            }
+        }
+        batchBound_ = boundExcluding(win);
+        ++windows_;
+        // The window opens at the batch's first event; an optional
+        // cap bounds how far one domain may run ahead inside it.
+        const Tick open = kmin.when;
+        const Tick wEnd =
+            window_ == 0 || window_ > max_tick - open
+                ? max_tick
+                : open + window_;
+        while (!win->events_.empty()) {
+            const auto &m = win->events_.min();
+            const Key k{m.when, m.seq};
+            if (!(k < batchBound_) || k.when > wEnd)
+                break;
+            if (n >= limit)
+                return false;
+            ++n;
+            execOne(*win);
+        }
+    }
+    return true;
+}
+
+bool
+DomainGroup::runUntil(Tick until, std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    if (domains_.size() == 1) {
+        EventQueue &d = *domains_.front();
+        if (!d.events_.empty() && d.events_.min().when <= until)
+            ++windows_;
+        while (!d.events_.empty() && d.events_.min().when <= until) {
+            if (n >= limit)
+                return false;
+            ++n;
+            execOne(d);
+        }
+        if (now_ < until)
+            now_ = until;
+        return true;
+    }
+    for (;;) {
+        EventQueue *win = nullptr;
+        Key kmin = key_max;
+        for (const auto &d : domains_) {
+            if (d->events_.empty())
+                continue;
+            const auto &m = d->events_.min();
+            const Key k{m.when, m.seq};
+            if (k < kmin) {
+                kmin = k;
+                win = d.get();
+            }
+        }
+        if (!win || kmin.when > until)
+            break;
+        batchBound_ = boundExcluding(win);
+        ++windows_;
+        const Tick open = kmin.when;
+        const Tick wEnd =
+            window_ == 0 || window_ > max_tick - open
+                ? max_tick
+                : open + window_;
+        while (!win->events_.empty()) {
+            const auto &m = win->events_.min();
+            const Key k{m.when, m.seq};
+            if (!(k < batchBound_) || k.when > until || k.when > wEnd)
+                break;
+            if (n >= limit)
+                return false;
+            ++n;
+            execOne(*win);
+        }
+    }
+    // Same boundary contract as EventQueue::runUntil: success exits
+    // leave now() == until so follow-up scheduleIn() deltas measure
+    // from the boundary.
+    if (now_ < until)
+        now_ = until;
+    return true;
+}
+
+void
+DomainGroup::reserve(std::size_t n)
+{
+    // Every domain gets an equal share, rounded up, so the group as
+    // a whole can absorb n pending events without reallocation no
+    // matter how they distribute (the old single-queue reserve(n)
+    // under-provisioned a partitioned machine: only domain 0 grew).
+    const std::size_t share =
+        (n + domains_.size() - 1) / domains_.size();
+    for (auto &d : domains_)
+        d->reserve(share);
+}
+
+void
+DomainGroup::reset()
+{
+    for (auto &d : domains_) {
+        d->events_.clear();
+        d->slots_.clear();
+        d->freeSlots_.clear();
+        d->_now = 0;
+        d->executed_ = 0;
+        d->peakPending_ = 0;
+    }
+    now_ = 0;
+    nextSeq_ = 0;
+    executed_ = 0;
+    pending_ = 0;
+    peakPending_ = 0;
+    executing_ = -1;
+    batchBound_ = key_max;
+    windows_ = 0;
+    crossPosts_ = 0;
+}
+
+std::size_t
+DomainGroup::domainPeakSum() const
+{
+    std::size_t sum = 0;
+    for (const auto &d : domains_)
+        sum += d->peakPending_;
+    return sum;
+}
+
+std::size_t
+DomainGroup::domainPeakMax() const
+{
+    std::size_t best = 0;
+    for (const auto &d : domains_)
+        best = std::max(best, d->peakPending_);
+    return best;
+}
+
+void
+DomainScheduler::runGroups(const std::vector<DomainGroup *> &groups,
+                           unsigned threads, std::uint64_t limit)
+{
+    core::parallelFor(groups.size(), threads, [&](std::size_t i) {
+        groups[i]->run(limit);
+    });
+}
+
+} // namespace cedar::sim

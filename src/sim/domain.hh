@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Conservative parallel-DES event domains (see DESIGN.md §12).
+ *
+ * A DomainGroup decomposes one simulation into N event domains —
+ * per-cluster domains plus a machine (GM/network/OS) domain — each
+ * an attached sim::EventQueue holding its own heap and slot pool.
+ * The group owns the clock, the global tie-break sequence counter
+ * and the machine-wide pending population, and executes the domains
+ * as an *exact K-way merge*: the next event to run is always the
+ * globally minimal (when, seq) key across all domains. Because seq
+ * is assigned from the shared counter at schedule() time and the
+ * merge reproduces the single-queue pop order exactly, the executed
+ * event order — and therefore every RunResult field, metric and
+ * span timeline — is bit-identical to the legacy single queue at
+ * any domain count. Determinism is by construction, not by test.
+ *
+ * The merge advances in *windows*: the group picks the domain
+ * owning the minimal key and runs it in a batch while its next key
+ * stays below the merge bound (the minimal key of every other
+ * domain, lowered on the fly by any cross-domain post the batch
+ * makes) and within the optional window cap. Each batch is one
+ * conservative synchronization window; with a single domain the
+ * bound is infinite and the loop collapses to the legacy kernel.
+ *
+ * Cross-domain mailboxes are schedule() calls issued while another
+ * domain's event is executing. They are counted, and when a strict
+ * lookahead is armed (setLookahead) every such post must land at
+ * least that many ticks in the future or the group throws
+ * sim::CausalityError. The Cedar model's *hardware* crossings have
+ * a guaranteed minimum latency (one network hop), but its software
+ * shortcuts — the runtime's loop-lock hand-off and spin wake-ups —
+ * cross clusters at zero delta, so the model's honest machine-wide
+ * lookahead is zero. That is exactly why the group serializes one
+ * machine's domains through the merge (the simulator's own
+ * "parallelization overhead", mirroring the paper's taxonomy) and
+ * reserves thread-level parallelism for *independent* groups, which
+ * DomainScheduler fans out over the core/parallel pool.
+ */
+
+#ifndef CEDAR_SIM_DOMAIN_HH
+#define CEDAR_SIM_DOMAIN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace cedar::sim
+{
+
+/**
+ * An event domain is an EventQueue attached to a DomainGroup: same
+ * scheduling surface, group-owned clock and sequence numbers.
+ * Components hold EventDomain references and cannot tell (and need
+ * not care) how many domains the machine was partitioned into.
+ */
+using EventDomain = EventQueue;
+
+/** A set of event domains advanced as one exact merge. */
+class DomainGroup
+{
+  public:
+    /** Create @p n_domains attached domains (at least one). */
+    explicit DomainGroup(unsigned n_domains = 1);
+    ~DomainGroup();
+
+    DomainGroup(const DomainGroup &) = delete;
+    DomainGroup &operator=(const DomainGroup &) = delete;
+
+    unsigned numDomains() const
+    {
+        return static_cast<unsigned>(domains_.size());
+    }
+
+    EventDomain &domain(unsigned i) { return *domains_.at(i); }
+    const EventDomain &domain(unsigned i) const
+    {
+        return *domains_.at(i);
+    }
+
+    /** Current simulated time (shared by every domain). */
+    Tick now() const { return now_; }
+
+    // ----- single-queue-compatible surface -----
+    // The group is a drop-in replacement for the machine's old
+    // global EventQueue: direct schedules land in domain 0 (the
+    // machine domain), and run/runUntil drive the merge.
+
+    void schedule(Tick when, Cont fn)
+    {
+        domains_.front()->schedule(when, std::move(fn));
+    }
+
+    void
+    scheduleIn(Tick delta, Cont fn)
+    {
+        domains_.front()->scheduleIn(delta, std::move(fn));
+    }
+
+    /** True when no events remain in any domain. */
+    bool empty() const { return pending_ == 0; }
+
+    /** Pending events across all domains. */
+    std::size_t pending() const { return pending_; }
+
+    /**
+     * Machine-wide peak of the *concurrent* pending population —
+     * the same trajectory the single queue reported, because the
+     * merge executes the identical event order.
+     */
+    std::size_t peakPending() const { return peakPending_; }
+
+    /** Total events executed across all domains. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** See EventQueue::allocStats (the arena is thread-local). */
+    static const ContAllocStats &allocStats()
+    {
+        return EventQueue::allocStats();
+    }
+
+    /** Pre-size every domain for a share of @p n pending events. */
+    void reserve(std::size_t n);
+
+    /** Merge-run until drained or @p limit events executed.
+     *  @return true if drained, false if the limit hit. */
+    bool run(std::uint64_t limit = ~std::uint64_t(0));
+
+    /** Merge-run events with timestamps <= @p until; same boundary
+     *  and budget contract as EventQueue::runUntil. */
+    bool runUntil(Tick until, std::uint64_t limit = ~std::uint64_t(0));
+
+    /** Reset time, sequence numbers and every domain's events. */
+    void reset();
+
+    // ----- PDES knobs and diagnostics -----
+
+    /**
+     * Arm the strict conservative-lookahead check: any cross-domain
+     * post closer than @p la ticks to now() throws CausalityError.
+     * 0 (the default) disarms it — the shipped model's software
+     * crossings are zero-latency, so any positive bound trips (the
+     * CI negative test relies on exactly that).
+     */
+    void setLookahead(Tick la) { lookahead_ = la; }
+    Tick lookahead() const { return lookahead_; }
+
+    /**
+     * Cap each merge window at @p w ticks from its opening time
+     * (0 = bound only by the merge horizon). Any cap yields the
+     * identical execution order — it only splits batches — which
+     * the window-size determinism sweep in tests/test_pdes.cc pins.
+     */
+    void setWindow(Tick w) { window_ = w; }
+    Tick window() const { return window_; }
+
+    /** Merge windows (batches) executed so far. */
+    std::uint64_t windows() const { return windows_; }
+
+    /** Cross-domain mailbox posts observed so far. */
+    std::uint64_t crossPosts() const { return crossPosts_; }
+
+    /** Sum of the per-domain peak pending populations. */
+    std::size_t domainPeakSum() const;
+
+    /** Largest single-domain peak pending population. */
+    std::size_t domainPeakMax() const;
+
+    /** Index of the domain currently executing an event, or -1. */
+    int executingDomain() const { return executing_; }
+
+  private:
+    friend class EventQueue;
+
+    /** (when, seq) merge key; seq is globally unique. */
+    struct Key
+    {
+        Tick when;
+        std::uint64_t seq;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (when != o.when)
+                return when < o.when;
+            return seq < o.seq;
+        }
+    };
+
+    static constexpr Key key_max{max_tick, ~std::uint64_t(0)};
+
+    /** Stable address of the group clock for attached domains. */
+    const Tick *nowPtr() const { return &now_; }
+
+    /** Schedule @p fn into domain @p d (EventQueue::schedule body
+     *  for attached queues): group seq, cross-post accounting,
+     *  lookahead check, merge-bound maintenance. */
+    void post(EventQueue &d, Tick when, Cont fn);
+
+    /** Pop and execute domain @p d's minimal event. */
+    void execOne(EventQueue &d);
+
+    /** Minimal key of every domain except @p skip. */
+    Key boundExcluding(const EventQueue *skip) const;
+
+    std::vector<std::unique_ptr<EventQueue>> domains_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t pending_ = 0;
+    std::size_t peakPending_ = 0;
+
+    /** Domain whose event is executing right now (-1 outside). */
+    int executing_ = -1;
+    /** Merge bound of the batch in flight, lowered by cross posts. */
+    Key batchBound_ = key_max;
+
+    Tick lookahead_ = 0;
+    Tick window_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t crossPosts_ = 0;
+};
+
+/**
+ * Fan-out driver for *independent* domain groups (separate machines:
+ * replicas, ensemble studies, sweeps). Groups within one machine
+ * share reservation state and are serialized by the merge; groups of
+ * different machines share nothing and scale on the thread pool —
+ * deterministically, since each group's merge is self-contained.
+ */
+struct DomainScheduler
+{
+    /**
+     * Advance every group until drained (or @p limit events each) on
+     * up to @p threads workers (0 = one per hardware thread, 1 =
+     * caller's thread only). Results are bit-identical at any
+     * thread count: groups never share state.
+     */
+    static void runGroups(const std::vector<DomainGroup *> &groups,
+                          unsigned threads,
+                          std::uint64_t limit = ~std::uint64_t(0));
+};
+
+} // namespace cedar::sim
+
+#endif // CEDAR_SIM_DOMAIN_HH

@@ -4,14 +4,14 @@
 #include <limits>
 #include <utility>
 
+#include "sim/domain.hh"
+
 namespace cedar::sim
 {
 
-void
-EventQueue::schedule(Tick when, Cont fn)
+std::uint32_t
+EventQueue::allocSlot(Cont fn)
 {
-    if (when < _now)
-        throw ScheduleError("scheduling into the past");
     std::uint32_t slot;
     if (!freeSlots_.empty()) {
         slot = freeSlots_.back();
@@ -24,9 +24,41 @@ EventQueue::schedule(Tick when, Cont fn)
         slot = static_cast<std::uint32_t>(slots_.size());
         slots_.push_back(std::move(fn));
     }
+    return slot;
+}
+
+void
+EventQueue::schedule(Tick when, Cont fn)
+{
+    if (group_) {
+        group_->post(*this, when, std::move(fn));
+        return;
+    }
+    if (when < _now)
+        throw ScheduleError("scheduling into the past");
+    const std::uint32_t slot = allocSlot(std::move(fn));
     events_.push(Node{when, nextSeq_++, slot});
     if (events_.size() > peakPending_)
         peakPending_ = events_.size();
+}
+
+void
+EventQueue::attach(DomainGroup *group, std::uint32_t index)
+{
+    assert(group && !group_ && events_.empty());
+    group_ = group;
+    domainIndex_ = index;
+    nowPtr_ = group->nowPtr();
+}
+
+void
+EventQueue::requireStandalone(const char *op) const
+{
+    if (group_)
+        throw ScheduleError(
+            std::string(op) +
+            ": queue is an attached event domain; drive it through "
+            "its DomainGroup");
 }
 
 Cont
@@ -44,6 +76,7 @@ EventQueue::popNext()
 bool
 EventQueue::run(std::uint64_t limit)
 {
+    requireStandalone("run");
     std::uint64_t n = 0;
     while (!events_.empty()) {
         if (n >= limit)
@@ -57,6 +90,7 @@ EventQueue::run(std::uint64_t limit)
 bool
 EventQueue::runUntil(Tick until, std::uint64_t limit)
 {
+    requireStandalone("runUntil");
     std::uint64_t n = 0;
     while (!events_.empty() && events_.min().when <= until) {
         if (n >= limit)
@@ -78,6 +112,7 @@ EventQueue::runUntil(Tick until, std::uint64_t limit)
 void
 EventQueue::reset()
 {
+    requireStandalone("reset");
     events_.clear();
     slots_.clear();
     freeSlots_.clear();

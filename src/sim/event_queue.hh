@@ -2,10 +2,27 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single global-ordered event queue drives the whole machine
- * model. Events are arbitrary callbacks scheduled at absolute ticks;
- * ties are broken by insertion order so simulations are fully
+ * A global-ordered event queue drives the whole machine model.
+ * Events are arbitrary callbacks scheduled at absolute ticks; ties
+ * are broken by insertion order so simulations are fully
  * deterministic for a given seed.
+ *
+ * An EventQueue runs in one of two modes:
+ *
+ *  - *Standalone* (the default): the queue owns simulated time and
+ *    its own sequence counter, exactly the single-queue kernel the
+ *    repo has always had.
+ *
+ *  - *Attached*: the queue is one event domain of a sim::DomainGroup
+ *    (see sim/domain.hh). Time and the tie-break sequence counter
+ *    live in the group, which executes the domains' events as an
+ *    exact K-way merge; the domain keeps only its own heap, slot
+ *    pool and local diagnostics. Components holding an EventQueue
+ *    reference (a cluster's CEs, the concurrency bus, statfx) are
+ *    oblivious to the mode — schedule()/scheduleIn()/now() behave
+ *    identically, which is what makes the domain decomposition a
+ *    pure refactor: the executed event order is bit-identical by
+ *    construction.
  */
 
 #ifndef CEDAR_SIM_EVENT_QUEUE_HH
@@ -22,6 +39,8 @@
 namespace cedar::sim
 {
 
+class DomainGroup;
+
 /**
  * The event queue: a 4-ary indexed min-heap of (tick, seq) keys.
  *
@@ -33,8 +52,9 @@ namespace cedar::sim
  * behaviour). Freed slots are recycled through a free list, so the
  * pool's size is bounded by the peak pending-event population.
  *
- * The queue owns simulated time. Model components never advance
- * time themselves; they schedule continuations and return.
+ * The queue owns simulated time (or, attached to a DomainGroup,
+ * reads the group's time). Model components never advance time
+ * themselves; they schedule continuations and return.
  */
 class EventQueue
 {
@@ -44,11 +64,17 @@ class EventQueue
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
-    /** Current simulated time. */
-    Tick now() const { return _now; }
+    /** Current simulated time (the group's time when attached). */
+    Tick now() const { return *nowPtr_; }
 
     /**
      * Schedule a callback at an absolute tick.
+     *
+     * When attached, the callback lands in this domain's heap with a
+     * group-wide sequence number; a post issued while *another*
+     * domain's event is executing is a cross-domain mailbox post,
+     * counted and (optionally) checked against the group's declared
+     * lookahead.
      *
      * @param when Absolute tick; must be >= now().
      * @param fn Callback to run at that tick.
@@ -64,21 +90,27 @@ class EventQueue
     void
     scheduleIn(Tick delta, Cont fn)
     {
-        if (delta > max_tick - _now)
+        const Tick base = now();
+        if (delta > max_tick - base)
             throw ScheduleError("tick overflow: now + delta wraps");
-        schedule(_now + delta, std::move(fn));
+        schedule(base + delta, std::move(fn));
     }
 
-    /** True when no events remain. */
+    /** True when no events remain (in this domain, when attached). */
     bool empty() const { return events_.empty(); }
 
-    /** Number of pending events. */
+    /** Number of pending events (in this domain, when attached). */
     std::size_t pending() const { return events_.size(); }
 
-    /** High-water mark of pending() over the queue's lifetime. */
+    /**
+     * High-water mark of pending() over the queue's lifetime. For an
+     * attached domain this is the *per-domain* peak; the machine-wide
+     * concurrent peak lives on the DomainGroup, which tracks the
+     * global pending trajectory across all domains.
+     */
     std::size_t peakPending() const { return peakPending_; }
 
-    /** Total number of events executed so far. */
+    /** Events executed so far (from this domain, when attached). */
     std::uint64_t executed() const { return executed_; }
 
     /**
@@ -105,7 +137,8 @@ class EventQueue
 
     /**
      * Run events until the queue drains or @p limit events have
-     * executed.
+     * executed. Standalone queues only: an attached domain is driven
+     * by its group's merge loop.
      *
      * @return true if the queue drained, false if the limit hit.
      */
@@ -125,10 +158,12 @@ class EventQueue
      */
     bool runUntil(Tick until, std::uint64_t limit = ~std::uint64_t(0));
 
-    /** Reset time and drop all pending events. */
+    /** Reset time and drop all pending events (standalone only). */
     void reset();
 
   private:
+    friend class DomainGroup;
+
     /** Heap node: ordering key + slot index of the callback. */
     struct Node
     {
@@ -149,8 +184,17 @@ class EventQueue
         }
     };
 
+    /** Store @p fn in the slot pool and return its index. */
+    std::uint32_t allocSlot(Cont fn);
+
     /** Pop the minimum node, advance time, return its callback. */
     Cont popNext();
+
+    /** Throw unless this queue is standalone (group-driven APIs). */
+    void requireStandalone(const char *op) const;
+
+    /** Bind this queue to @p group as domain @p index. */
+    void attach(DomainGroup *group, std::uint32_t index);
 
     DaryHeap<Node, NodeLess> events_;
     std::vector<Cont> slots_;            //!< callback pool
@@ -159,6 +203,12 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t peakPending_ = 0;
+
+    /** Owning group + domain index; null when standalone. */
+    DomainGroup *group_ = nullptr;
+    std::uint32_t domainIndex_ = 0;
+    /** Points at the group's clock when attached, else at _now. */
+    const Tick *nowPtr_ = &_now;
 };
 
 } // namespace cedar::sim

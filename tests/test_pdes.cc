@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Tests for the conservative-PDES event domains (sim/domain.hh).
+ *
+ * The bar is the PR 2 standard: bit-identical RunResult, metrics
+ * JSON and span timeline at any --run-threads — including
+ * fault-injected and fast-path-disabled runs — with --run-threads 1
+ * collapsing to the legacy single queue. The domain group's exact
+ * K-way merge makes this true by construction; these tests pin it
+ * empirically at every paper point and a non-paper geometry, sweep
+ * the window cap, prove the strict-lookahead causality check is
+ * live, exercise the watchdog across a stalled domain, check the
+ * peak-pending accounting coherence, and run independent groups on
+ * the DomainScheduler's thread pool (the TSan CI leg's target).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/perfect.hh"
+#include "apps/workload.hh"
+#include "core/experiment.hh"
+#include "fault/fault.hh"
+#include "hw/config.hh"
+#include "hw/machine.hh"
+#include "sim/domain.hh"
+#include "sim/error.hh"
+#include "sim/watchdog.hh"
+
+namespace
+{
+
+using namespace cedar;
+using cedar::sim::Tick;
+
+std::string
+metricsJson(const core::RunResult &r)
+{
+    std::ostringstream os;
+    r.metrics.writeJson(os);
+    return os.str();
+}
+
+/**
+ * Every published number must agree exactly. The PDES structure
+ * diagnostics (domainCount, pdesWindows, crossDomainPosts, the
+ * per-domain peak split) are deliberately excluded: they describe
+ * the partition, not the machine, and are the only fields allowed
+ * to differ between --run-threads settings.
+ */
+void
+expectBitIdentical(const core::RunResult &a, const core::RunResult &b)
+{
+    EXPECT_EQ(a.ct, b.ct);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.peakPending, b.peakPending);
+    EXPECT_EQ(a.ceQueueStall, b.ceQueueStall);
+    EXPECT_EQ(a.resourceWait, b.resourceWait);
+    EXPECT_EQ(a.globalWords, b.globalWords);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.accessesDegraded, b.accessesDegraded);
+    EXPECT_EQ(a.parkedCes, b.parkedCes);
+    EXPECT_EQ(a.seqFaults, b.seqFaults);
+    EXPECT_EQ(a.concFaults, b.concFaults);
+    EXPECT_EQ(a.fastPathHits, b.fastPathHits);
+    EXPECT_EQ(a.fastPathMisses, b.fastPathMisses);
+    EXPECT_EQ(a.fastPathPatterns, b.fastPathPatterns);
+    EXPECT_EQ(a.machineConcurrency, b.machineConcurrency);
+    ASSERT_EQ(a.clusterConcurrency.size(), b.clusterConcurrency.size());
+    for (std::size_t i = 0; i < a.clusterConcurrency.size(); ++i)
+        EXPECT_EQ(a.clusterConcurrency[i], b.clusterConcurrency[i]);
+    ASSERT_EQ(a.ceAcct.size(), b.ceAcct.size());
+    for (std::size_t i = 0; i < a.ceAcct.size(); ++i) {
+        EXPECT_EQ(a.ceAcct[i].cat, b.ceAcct[i].cat);
+        EXPECT_EQ(a.ceAcct[i].osAct, b.ceAcct[i].osAct);
+        EXPECT_EQ(a.ceAcct[i].userAct, b.ceAcct[i].userAct);
+    }
+    EXPECT_EQ(metricsJson(a), metricsJson(b));
+}
+
+void
+expectSameTimeline(const core::RunResult &a, const core::RunResult &b)
+{
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        const auto &x = a.timeline[i];
+        const auto &y = b.timeline[i];
+        const bool same = x.when == y.when && x.dur == y.dur &&
+                          x.id == y.id && x.kind == y.kind &&
+                          x.cat == y.cat && x.act == y.act &&
+                          x.flags == y.flags && x.ce == y.ce &&
+                          x.res == y.res;
+        ASSERT_TRUE(same) << "timeline diverges at event " << i;
+    }
+}
+
+core::RunResult
+runThreadsPoint(const apps::AppModel &app, const hw::CedarConfig &cfg,
+                unsigned runThreads, double scale,
+                const core::RunOptions &base = {})
+{
+    core::RunOptions o = base;
+    o.scale = scale;
+    o.runThreads = runThreads;
+    return core::runExperiment(app, cfg, o);
+}
+
+// ---------------------------------------------------------------
+// Bit identity across --run-threads at the paper points
+// ---------------------------------------------------------------
+
+TEST(PdesIdentity, AllPaperPointsRunThreads124)
+{
+    const auto app = apps::perfectAppByName("ADM");
+    for (const unsigned p : hw::CedarConfig::paperProcCounts()) {
+        SCOPED_TRACE(p);
+        const auto cfg = hw::CedarConfig::withProcs(p);
+        const auto r1 = runThreadsPoint(app, cfg, 1, 0.05);
+        const auto r2 = runThreadsPoint(app, cfg, 2, 0.05);
+        const auto r4 = runThreadsPoint(app, cfg, 4, 0.05);
+        expectBitIdentical(r1, r2);
+        expectBitIdentical(r1, r4);
+        // 1 thread = the legacy single queue; >= 2 = the partition.
+        EXPECT_EQ(r1.domainCount, 1u);
+        EXPECT_EQ(r2.domainCount, cfg.nClusters + 1);
+        EXPECT_EQ(r4.domainCount, cfg.nClusters + 1);
+        // Identical partition => identical diagnostics too.
+        EXPECT_EQ(r2.pdesWindows, r4.pdesWindows);
+        EXPECT_EQ(r2.crossDomainPosts, r4.crossDomainPosts);
+    }
+}
+
+TEST(PdesIdentity, AllAppsThirtyTwoProcs)
+{
+    const auto cfg = hw::CedarConfig::withProcs(32);
+    for (const char *name : {"FLO52", "ARC2D", "MDG", "OCEAN", "ADM"}) {
+        SCOPED_TRACE(name);
+        const auto app = apps::perfectAppByName(name);
+        const auto r1 = runThreadsPoint(app, cfg, 1, 0.04);
+        const auto r4 = runThreadsPoint(app, cfg, 4, 0.04);
+        expectBitIdentical(r1, r4);
+        EXPECT_GT(r4.crossDomainPosts, 0u);
+    }
+}
+
+TEST(PdesIdentity, NonPaperGeometry2x4)
+{
+    hw::CedarConfig cfg;
+    cfg.nClusters = 2;
+    cfg.cesPerCluster = 4;
+    const auto app = apps::perfectAppByName("FLO52");
+    const auto r1 = runThreadsPoint(app, cfg, 1, 0.1);
+    const auto r2 = runThreadsPoint(app, cfg, 2, 0.1);
+    const auto r4 = runThreadsPoint(app, cfg, 4, 0.1);
+    expectBitIdentical(r1, r2);
+    expectBitIdentical(r1, r4);
+    EXPECT_EQ(r2.domainCount, 3u);
+}
+
+TEST(PdesIdentity, FaultInjectedRuns)
+{
+    const auto app = apps::perfectAppByName("OCEAN");
+    const auto cfg = hw::CedarConfig::withProcs(16);
+    core::RunOptions base;
+    base.faults.push_back(fault::parseFaultSpec("module:3:degrade:4x"));
+    base.faults.push_back(fault::parseFaultSpec("ce:1:hiccup:p=1e-4"));
+    const auto r1 = runThreadsPoint(app, cfg, 1, 0.05, base);
+    const auto r4 = runThreadsPoint(app, cfg, 4, 0.05, base);
+    EXPECT_GT(r1.faultsInjected, 0u);
+    expectBitIdentical(r1, r4);
+}
+
+TEST(PdesIdentity, NoFastPathRuns)
+{
+    const auto app = apps::perfectAppByName("FLO52");
+    const auto cfg = hw::CedarConfig::withProcs(16);
+    core::RunOptions base;
+    base.fastPath = false;
+    const auto r1 = runThreadsPoint(app, cfg, 1, 0.05, base);
+    const auto r4 = runThreadsPoint(app, cfg, 4, 0.05, base);
+    EXPECT_EQ(r1.fastPathHits, 0u);
+    expectBitIdentical(r1, r4);
+}
+
+TEST(PdesIdentity, SpanTimelineEventForEvent)
+{
+    const auto app = apps::perfectAppByName("ADM");
+    const auto cfg = hw::CedarConfig::withProcs(32);
+    core::RunOptions base;
+    base.collectTimeline = true;
+    const auto r1 = runThreadsPoint(app, cfg, 1, 0.05, base);
+    const auto r4 = runThreadsPoint(app, cfg, 4, 0.05, base);
+    EXPECT_GT(r1.timeline.size(), 0u);
+    expectBitIdentical(r1, r4);
+    expectSameTimeline(r1, r4);
+}
+
+// ---------------------------------------------------------------
+// Window-size sweep: any cap yields the identical execution
+// ---------------------------------------------------------------
+
+TEST(PdesWindow, WindowSizeSweepIsDeterministic)
+{
+    const auto app = apps::perfectAppByName("ADM");
+    const auto cfg = hw::CedarConfig::withProcs(16);
+    const auto ref = runThreadsPoint(app, cfg, 4, 0.05);
+    // 1 tick up to the spin-wake latency (the largest short-range
+    // crossing constant): batches split differently — pdesWindows
+    // grows as the cap shrinks — but the executed order, and so
+    // every result, must not move.
+    std::uint64_t prevWindows = ref.pdesWindows;
+    for (const Tick w : {Tick(48), Tick(8), Tick(2), Tick(1)}) {
+        SCOPED_TRACE(w);
+        core::RunOptions base;
+        base.pdesWindow = w;
+        const auto r = runThreadsPoint(app, cfg, 4, 0.05, base);
+        expectBitIdentical(ref, r);
+        EXPECT_GE(r.pdesWindows, prevWindows);
+        prevWindows = r.pdesWindows;
+    }
+}
+
+// ---------------------------------------------------------------
+// Strict lookahead: the causality check is live
+// ---------------------------------------------------------------
+
+TEST(PdesCausality, InflatedLookaheadTrips)
+{
+    const auto app = apps::perfectAppByName("ADM");
+    const auto cfg = hw::CedarConfig::withProcs(32);
+    core::RunOptions o;
+    o.scale = 0.05;
+    o.runThreads = 4;
+    // The model's software crossings (lock hand-off, spin wake) are
+    // below any positive bound; declaring the hardware-derived
+    // lookahead as if it were machine-wide must therefore trip.
+    o.pdesLookahead = 100;
+    EXPECT_THROW(core::runExperiment(app, cfg, o),
+                 sim::CausalityError);
+    // Even the minimal positive bound trips on the zero-delta
+    // cross-cluster loop-lock hand-off.
+    o.pdesLookahead = 1;
+    EXPECT_THROW(core::runExperiment(app, cfg, o),
+                 sim::CausalityError);
+}
+
+TEST(PdesCausality, DisarmedAndSingleDomainNeverTrip)
+{
+    const auto app = apps::perfectAppByName("ADM");
+    const auto cfg = hw::CedarConfig::withProcs(16);
+    core::RunOptions o;
+    o.scale = 0.05;
+    o.runThreads = 4;
+    EXPECT_NO_THROW(core::runExperiment(app, cfg, o));
+    // A single domain has no crossings at all, so even an absurd
+    // bound is vacuous.
+    o.runThreads = 1;
+    o.pdesLookahead = 1'000'000;
+    EXPECT_NO_THROW(core::runExperiment(app, cfg, o));
+}
+
+// ---------------------------------------------------------------
+// Accounting coherence
+// ---------------------------------------------------------------
+
+TEST(PdesAccounting, PeakPendingSplitIsCoherent)
+{
+    const auto app = apps::perfectAppByName("ADM");
+    const auto cfg = hw::CedarConfig::withProcs(32);
+    const auto r1 = runThreadsPoint(app, cfg, 1, 0.1);
+    const auto r4 = runThreadsPoint(app, cfg, 4, 0.1);
+    // The machine-wide concurrent peak is partition-independent.
+    EXPECT_EQ(r1.peakPending, r4.peakPending);
+    // Single domain: the split degenerates to the global peak.
+    EXPECT_EQ(r1.peakPendingDomainSum, r1.peakPending);
+    EXPECT_EQ(r1.peakPendingDomainMax, r1.peakPending);
+    // Partitioned: per-domain peaks need not be simultaneous, so
+    // their sum bounds the concurrent peak from above and the max
+    // single domain from below.
+    EXPECT_GE(r4.peakPendingDomainSum, r4.peakPending);
+    EXPECT_LE(r4.peakPendingDomainMax, r4.peakPending);
+    EXPECT_GT(r4.peakPendingDomainMax, 0u);
+    EXPECT_EQ(r4.domainCount, 5u);
+    EXPECT_GT(r4.pdesWindows, 0u);
+    EXPECT_GT(r4.crossDomainPosts, 0u);
+}
+
+TEST(PdesAccounting, GroupReserveProvisionsEveryDomain)
+{
+    sim::DomainGroup g(4);
+    g.reserve(100);
+    int ran = 0;
+    for (unsigned d = 0; d < g.numDomains(); ++d)
+        for (unsigned i = 0; i < 25; ++i)
+            g.domain(d).schedule(i, [&ran] { ++ran; });
+    EXPECT_EQ(g.pending(), 100u);
+    EXPECT_EQ(g.peakPending(), 100u);
+    EXPECT_TRUE(g.run());
+    EXPECT_EQ(ran, 100);
+    EXPECT_EQ(g.executed(), 100u);
+    EXPECT_EQ(g.domainPeakSum(), 100u);
+    EXPECT_EQ(g.domainPeakMax(), 25u);
+}
+
+// ---------------------------------------------------------------
+// Kernel-level merge semantics
+// ---------------------------------------------------------------
+
+TEST(PdesMerge, ExactMergeReproducesGlobalScheduleOrder)
+{
+    // Same event program scheduled across 3 domains and into a
+    // 1-domain group: execution order (observed through a log) must
+    // be identical — ties resolved by global schedule order.
+    auto program = [](sim::DomainGroup &g, std::vector<int> &log) {
+        const unsigned n = g.numDomains();
+        for (int i = 0; i < 60; ++i) {
+            const Tick when = static_cast<Tick>((i * 7) % 10);
+            g.domain(static_cast<unsigned>(i) % n)
+                .schedule(when, [&log, i] { log.push_back(i); });
+        }
+        g.run();
+    };
+    std::vector<int> serial, merged;
+    {
+        sim::DomainGroup g(1);
+        program(g, serial);
+    }
+    {
+        sim::DomainGroup g(3);
+        program(g, merged);
+    }
+    EXPECT_EQ(serial, merged);
+}
+
+TEST(PdesMerge, CrossPostBelowBatchBoundPreemptsTheBatch)
+{
+    // Domain 1 owns events at t=0 and t=10; its t=0 event posts a
+    // t=5 event into domain 2. The merge bound at batch open is
+    // infinite past t=10 (domain 2 empty), so only the live bound
+    // lowering can order the t=5 event before the t=10 one.
+    sim::DomainGroup g(3);
+    std::vector<std::string> log;
+    g.domain(1).schedule(0, [&] {
+        g.domain(2).schedule(5, [&] { log.push_back("d2@5"); });
+    });
+    g.domain(1).schedule(10, [&] { log.push_back("d1@10"); });
+    EXPECT_TRUE(g.run());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], "d2@5");
+    EXPECT_EQ(log[1], "d1@10");
+    EXPECT_EQ(g.crossPosts(), 1u);
+}
+
+TEST(PdesMerge, RunUntilHonorsBoundaryAndBudget)
+{
+    sim::DomainGroup g(2);
+    int ran = 0;
+    for (Tick t = 0; t < 10; ++t)
+        g.domain(t % 2 == 0 ? 0u : 1u).schedule(t * 10,
+                                                [&ran] { ++ran; });
+    EXPECT_TRUE(g.runUntil(45));
+    EXPECT_EQ(ran, 5);
+    EXPECT_EQ(g.now(), 45u);
+    EXPECT_FALSE(g.runUntil(1000, 2)); // budget fires first
+    EXPECT_EQ(ran, 7);
+    EXPECT_TRUE(g.runUntil(1000));
+    EXPECT_EQ(ran, 10);
+    EXPECT_EQ(g.now(), 1000u);
+}
+
+TEST(PdesMerge, AttachedDomainRejectsStandaloneDriving)
+{
+    sim::DomainGroup g(2);
+    EXPECT_THROW(g.domain(1).run(), sim::ScheduleError);
+    EXPECT_THROW(g.domain(0).runUntil(10), sim::ScheduleError);
+    EXPECT_THROW(g.domain(0).reset(), sim::ScheduleError);
+}
+
+// ---------------------------------------------------------------
+// Watchdog across a stalled domain
+// ---------------------------------------------------------------
+
+TEST(PdesWatchdog, FiresAcrossZeroDeltaCrossDomainLivelock)
+{
+    // Two domains ping-pong a zero-delta event forever: simulated
+    // time freezes while events keep executing — exactly the
+    // livelock the watchdog exists for, now spanning domains.
+    sim::DomainGroup g(3);
+    std::function<void(unsigned)> bounce = [&](unsigned to) {
+        g.domain(to).scheduleIn(
+            0, [&bounce, to] { bounce(to == 1 ? 2u : 1u); });
+    };
+    g.domain(1).schedule(100, [&] { bounce(2); });
+    sim::Watchdog wd(10'000);
+    bool fired = false;
+    for (int slice = 0; slice < 64 && !fired; ++slice) {
+        g.run(1'000);
+        fired = wd.observe(g.now(), g.executed());
+    }
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(g.now(), 100u);
+    EXPECT_GT(g.crossPosts(), 10'000u);
+}
+
+// ---------------------------------------------------------------
+// DomainScheduler: independent groups on the thread pool
+// ---------------------------------------------------------------
+
+TEST(PdesParallelScheduler, IndependentGroupsAnyThreadCount)
+{
+    // K independent groups, each with its own cross-posting event
+    // program writing to its own log; running them on 1, 2 and 4
+    // pool threads must give every group the identical log. This is
+    // the TSan CI leg's target: groups share no state.
+    constexpr unsigned K = 6;
+    auto build = [](sim::DomainGroup &g, std::vector<int> &log,
+                    int salt) {
+        for (int i = 0; i < 200; ++i) {
+            const unsigned d = static_cast<unsigned>(i) % 3;
+            const Tick when = static_cast<Tick>((i * (salt + 3)) % 97);
+            g.domain(d).schedule(when, [&g, &log, i, d] {
+                log.push_back(i);
+                if (i % 5 == 0)
+                    g.domain((d + 1) % 3).scheduleIn(
+                        1, [&log, i] { log.push_back(-i); });
+            });
+        }
+    };
+    std::vector<std::vector<int>> reference(K);
+    for (unsigned k = 0; k < K; ++k) {
+        sim::DomainGroup g(3);
+        build(g, reference[k], static_cast<int>(k));
+        g.run();
+    }
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE(threads);
+        std::vector<std::unique_ptr<sim::DomainGroup>> groups;
+        std::vector<std::vector<int>> logs(K);
+        std::vector<sim::DomainGroup *> ptrs;
+        for (unsigned k = 0; k < K; ++k) {
+            groups.push_back(std::make_unique<sim::DomainGroup>(3));
+            build(*groups.back(), logs[k], static_cast<int>(k));
+            ptrs.push_back(groups.back().get());
+        }
+        sim::DomainScheduler::runGroups(ptrs, threads);
+        for (unsigned k = 0; k < K; ++k)
+            EXPECT_EQ(logs[k], reference[k]) << "group " << k;
+    }
+}
+
+TEST(PdesParallelScheduler, ReplicaMachinesScaleDeterministically)
+{
+    // Full-machine replica fan-out (what the bench pdes leg times):
+    // the same partitioned scenario run as 4 replicas on 1 and on 4
+    // workers must produce results identical to each other and to
+    // the partition-free run.
+    const auto app = apps::perfectAppByName("ADM");
+    const auto cfg = hw::CedarConfig::withProcs(32);
+    core::RunOptions o;
+    o.scale = 0.05;
+    o.runThreads = 4;
+    const auto ref = runThreadsPoint(app, cfg, 1, 0.05);
+    for (const unsigned jobs : {1u, 4u}) {
+        SCOPED_TRACE(jobs);
+        const auto rs =
+            core::runSweep(app, o, std::vector<hw::CedarConfig>(4, cfg),
+                           jobs);
+        for (const auto &r : rs)
+            expectBitIdentical(ref, r);
+    }
+}
+
+} // namespace

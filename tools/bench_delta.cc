@@ -163,6 +163,45 @@ main(int argc, char **argv)
                           << " of baseline)";
             std::cout << "\n";
         }
+
+        // The pdes section arrived with schema v3; baselines and new
+        // runs from before it simply skip this block.
+        if (newDoc.has("pdes")) {
+            std::cout << "pdes legs:\n";
+            for (const auto &leg : newDoc.at("pdes").asArray()) {
+                const std::string app = leg.at("app").asString();
+                const double procs = leg.at("procs").asNumber();
+                std::cout << "  " << app << " " << procs << "p:";
+                for (const auto &pt :
+                     leg.at("run_threads").asArray())
+                    std::cout
+                        << "  [rt"
+                        << pt.at("run_threads").asNumber() << " "
+                        << evs(pt.at("events_per_sec").asNumber())
+                        << " ev/s]";
+                std::cout << "  ensemble x"
+                          << leg.at("ensemble_replicas").asNumber()
+                          << " scaling "
+                          << ratio(
+                                 leg.at("ensemble_scaling").asNumber())
+                          << (leg.at("guard_enforced").asBool()
+                                  ? " (guarded)"
+                                  : " (informational)");
+                if (oldDoc.has("pdes"))
+                    for (const auto &old :
+                         oldDoc.at("pdes").asArray())
+                        if (old.at("app").asString() == app &&
+                            old.at("procs").asNumber() == procs) {
+                            const double was =
+                                old.at("ensemble_scaling").asNumber();
+                            if (was > 0)
+                                std::cout
+                                    << ", baseline scaling "
+                                    << ratio(was);
+                        }
+                std::cout << "\n";
+            }
+        }
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

@@ -107,6 +107,13 @@ usage()
            "                     [--inject SPEC]... [--gm-timeout N]\n"
            "                     [--gm-retries N] [--gm-backoff N]\n"
            "                     [--watchdog-events N]\n"
+           "                     [--run-threads N] (event domains:\n"
+           "                     1 = single queue; >= 2 = per-cluster\n"
+           "                     PDES partition; results identical)\n"
+           "                     [--pdes-lookahead N] (strict\n"
+           "                     causality check, 0 = off)\n"
+           "                     [--pdes-window N] (merge-window\n"
+           "                     tick cap, 0 = unbounded)\n"
            "  cedar_cli run-file <workload.txt> <procs> [flags]\n"
            "  cedar_cli run      --scenario <file.scn> [run flags]\n"
            "  cedar_cli sweep    <app> [--seed N] [--scale F]\n"
@@ -242,6 +249,13 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
                 static_cast<unsigned>(parseCount(a, value()));
         } else if (a == "--gm-backoff") {
             f.opts.gmRetryBackoff = parseCount(a, value());
+        } else if (a == "--run-threads") {
+            f.opts.runThreads =
+                static_cast<unsigned>(parseCount(a, value()));
+        } else if (a == "--pdes-lookahead") {
+            f.opts.pdesLookahead = parseCount(a, value());
+        } else if (a == "--pdes-window") {
+            f.opts.pdesWindow = parseCount(a, value());
         } else if (a == "--jobs") {
             f.jobs = static_cast<unsigned>(parseCount(a, value()));
         } else if (a == "--top") {
