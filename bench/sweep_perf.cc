@@ -59,6 +59,15 @@
  * leg's warm wall times (medians, like every other timing) double
  * as the steady-state ADM throughput record.
  *
+ * A time-series leg times FLO52 on 8 processors with the windowed
+ * telemetry recorder (obs/timeseries.hh, --ts-window) disarmed and
+ * armed at ~100 windows. Every study and sweep runs disarmed, where
+ * the feature costs one always-false compare per event in the
+ * DomainGroup hot loop; the leg guards that path against the plain
+ * sweep measurement with the same noise-bounded margin as the
+ * tracing leg (the 2% design budget is recorded in the JSON), and
+ * records the armed overhead informationally.
+ *
  * A PDES leg (DESIGN.md §12) times ADM and FLO52 on 32 processors
  * at --run-threads 1/2/4, recording events/sec plus the partition's
  * structure diagnostics (domains, merge windows, cross-domain
@@ -178,6 +187,87 @@ struct TracingPerf
  */
 constexpr double tracing_guard_pct = 10.0;
 constexpr unsigned guard_min_samples = 3;
+
+/**
+ * The time-series leg: FLO52 8p with the windowed telemetry recorder
+ * (obs/timeseries.hh) disarmed (--ts-window 0, the default every
+ * study and sweep runs with) and armed at ~100 windows. The design
+ * budget for the disarmed path is 2% — it costs one always-false
+ * compare per event in the DomainGroup hot loop — but wall-clock
+ * medians on shared hosts wander more than that, so like the tracing
+ * leg the enforced bound is the noise-bounded tracing_guard_pct and
+ * the 2% design target is recorded in the JSON for trend reading.
+ * The armed overhead is recorded but not guarded (opt-in feature).
+ */
+struct TimeSeriesPerf
+{
+    std::string app = "FLO52";
+    unsigned procs = 8;
+    unsigned repeat = 0;
+    sim::Tick windowTicks = 0;  //!< armed-leg sampling window
+    std::uint64_t windows = 0;  //!< windows the armed leg recorded
+    double offWallSec = 0;      //!< median, recorder disarmed
+    double onWallSec = 0;       //!< median, recorder armed
+    std::uint64_t events = 0;   //!< DES events (identical both legs)
+    /** Plain sweep wall for the same app/procs this invocation, or 0
+     *  when the sweep didn't cover it (--apps filter). */
+    double sweepWallSec = 0;
+
+    double
+    offOverheadPct() const
+    {
+        return sweepWallSec > 0
+                   ? 100.0 * (offWallSec / sweepWallSec - 1.0)
+                   : 0.0;
+    }
+    double
+    onOverheadPct() const
+    {
+        return offWallSec > 0
+                   ? 100.0 * (onWallSec / offWallSec - 1.0)
+                   : 0.0;
+    }
+};
+
+/** Disarmed-recorder design budget (recorded, not the enforced
+ *  bound — see TimeSeriesPerf). */
+constexpr double timeseries_design_max_overhead_pct = 2.0;
+
+TimeSeriesPerf
+timeTimeSeries(const core::RunOptions &opts, unsigned repeat)
+{
+    TimeSeriesPerf t;
+    t.repeat = std::max(repeat, 3u);
+    const auto app = apps::perfectAppByName(t.app);
+    const auto cfg = hw::CedarConfig::withProcs(t.procs);
+
+    // Probe run sizes the armed window to ~100 windows of this
+    // scale's completion time (deterministic across repeats).
+    {
+        core::RunOptions o = opts;
+        const auto res = core::runExperiment(app, cfg, o);
+        t.windowTicks = std::max<sim::Tick>(1, res.ct / 100);
+    }
+
+    std::vector<double> off, on;
+    for (unsigned r = 0; r < t.repeat; ++r) {
+        core::RunOptions o = opts;
+        o.tsWindow = 0;
+        auto t0 = Clock::now();
+        auto res = core::runExperiment(app, cfg, o);
+        off.push_back(secondsSince(t0));
+        t.events = res.eventsExecuted;
+
+        o.tsWindow = t.windowTicks;
+        t0 = Clock::now();
+        res = core::runExperiment(app, cfg, o);
+        on.push_back(secondsSince(t0));
+        t.windows = res.timeseries.windows.size();
+    }
+    t.offWallSec = median(std::move(off));
+    t.onWallSec = median(std::move(on));
+    return t;
+}
 
 TracingPerf
 timeTracing(const core::RunOptions &opts, unsigned repeat)
@@ -485,14 +575,15 @@ writeJson(std::ostream &os, const std::vector<AppPerf> &apps,
           const TracingPerf &tracing,
           const std::vector<FastPathPerf> &fastpath,
           const AllocPerf &allocs, const std::vector<PdesPerf> &pdes,
-          unsigned jobs, double scale, unsigned repeat,
-          double total_wall)
+          const TimeSeriesPerf &timeseries, unsigned jobs,
+          double scale, unsigned repeat, double total_wall)
 {
     tools::JsonWriter j(os);
     j.beginObject();
-    // v2 added the "allocs" section, v3 the "pdes" section; readers
-    // of the earlier sections are unaffected.
-    j.field("schema", "cedar-bench-sweep-v3");
+    // v2 added the "allocs" section, v3 the "pdes" section, v4 the
+    // "timeseries" section; readers of earlier sections are
+    // unaffected, and bench_delta tolerates their absence.
+    j.field("schema", "cedar-bench-sweep-v4");
     j.field("jobs", jobs == 0 ? core::defaultJobs() : jobs);
     j.field("scale", scale);
     j.field("repeat", repeat);
@@ -633,6 +724,46 @@ writeJson(std::ostream &os, const std::vector<AppPerf> &apps,
         j.endObject();
     }
     j.endArray();
+
+    j.key("timeseries").beginArray();
+    {
+        const TimeSeriesPerf &t = timeseries;
+        j.beginObject();
+        j.field("app", t.app);
+        j.field("procs", t.procs);
+        j.field("repeat", t.repeat);
+        j.field("window_ticks",
+                static_cast<std::uint64_t>(t.windowTicks));
+        j.field("windows", t.windows);
+        j.field("events", t.events);
+        j.field("sweep_wall_s", t.sweepWallSec);
+        j.field("recorder_off_wall_s", t.offWallSec);
+        j.field("recorder_on_wall_s", t.onWallSec);
+        j.field("plain_events_per_sec",
+                t.sweepWallSec > 0
+                    ? static_cast<double>(t.events) / t.sweepWallSec
+                    : 0.0);
+        j.field("recorder_off_events_per_sec",
+                t.offWallSec > 0
+                    ? static_cast<double>(t.events) / t.offWallSec
+                    : 0.0);
+        j.field("recorder_on_events_per_sec",
+                t.onWallSec > 0
+                    ? static_cast<double>(t.events) / t.onWallSec
+                    : 0.0);
+        j.field("overhead_pct", t.offOverheadPct());
+        j.field("on_overhead_pct", t.onOverheadPct());
+        j.field("design_max_overhead_pct",
+                timeseries_design_max_overhead_pct);
+        j.field("guard_max_overhead_pct", tracing_guard_pct);
+        j.field("guard_enforced", repeat >= guard_min_samples);
+        j.field("guard_ok", repeat < guard_min_samples ||
+                                t.sweepWallSec <= 0 ||
+                                t.offOverheadPct() <=
+                                    tracing_guard_pct);
+        j.endObject();
+    }
+    j.endArray();
     j.endObject();
 }
 
@@ -726,6 +857,22 @@ main(int argc, char **argv)
                   << tracing.enabledOverheadPct() << "%, "
                   << tracing.timelineEvents << " timeline events)\n";
 
+        TimeSeriesPerf timeseries = timeTimeSeries(opts, repeat);
+        for (const auto &p : perfs) {
+            if (p.app != timeseries.app)
+                continue;
+            for (const auto &c : p.configs)
+                if (c.procs == timeseries.procs)
+                    timeseries.sweepWallSec = c.wallSec;
+        }
+        std::cout << "timeseries (" << timeseries.app << " "
+                  << timeseries.procs << "p): recorder off "
+                  << timeseries.offWallSec << " s, on "
+                  << timeseries.onWallSec << " s (+"
+                  << timeseries.onOverheadPct() << "%, "
+                  << timeseries.windows << " windows of "
+                  << timeseries.windowTicks << " ticks)\n";
+
         std::vector<FastPathPerf> fastpath;
         fastpath.push_back(timeFastPath("FLO52", opts, repeat, true));
         fastpath.push_back(timeFastPath("ADM", opts, repeat, false));
@@ -770,8 +917,8 @@ main(int argc, char **argv)
         std::ofstream f(out);
         if (!f)
             throw std::runtime_error("cannot write " + out);
-        writeJson(f, perfs, tracing, fastpath, allocs, pdes, jobs,
-                  scale, repeat, total);
+        writeJson(f, perfs, tracing, fastpath, allocs, pdes,
+                  timeseries, jobs, scale, repeat, total);
         std::cout << "wrote " << out << " (" << total
                   << " s total)\n";
 
@@ -782,6 +929,17 @@ main(int argc, char **argv)
                       << "% slower than the plain sweep run of the "
                          "same configuration (guard: "
                       << tracing_guard_pct << "%)\n";
+            return 3;
+        }
+        if (repeat >= guard_min_samples &&
+            timeseries.sweepWallSec > 0 &&
+            timeseries.offOverheadPct() > tracing_guard_pct) {
+            std::cerr << "error: recorder-off time-series leg is "
+                      << timeseries.offOverheadPct()
+                      << "% slower than the plain sweep run of the "
+                         "same configuration (guard: "
+                      << tracing_guard_pct << "%; design target: "
+                      << timeseries_design_max_overhead_pct << "%)\n";
             return 3;
         }
         for (const auto &fp : fastpath) {

@@ -11,6 +11,27 @@
 namespace cedar::core
 {
 
+namespace
+{
+
+/** Cumulative machine counters for the time-series recorder: the
+ *  per-class server totals plus the fast-path/PDES/event counters
+ *  (read-only — safe inside the DomainGroup sampling hook). */
+obs::TimeSeriesSnapshot
+snapshotCounters(hw::Machine &m, sim::Tick boundary)
+{
+    obs::TimeSeriesSnapshot s;
+    s.boundary = boundary;
+    s.classes = obs::sampleClassTotals(m);
+    s.fastHits = m.net().fastStats().hits();
+    s.fastMisses = m.net().fastStats().misses();
+    s.crossPosts = m.eq().crossPosts();
+    s.events = m.eq().executed();
+    return s;
+}
+
+} // namespace
+
 void
 validateRunOptions(const RunOptions &opts)
 {
@@ -60,6 +81,22 @@ runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
     std::unique_ptr<obs::TimelineRecorder> timeline;
     if (opts.collectTimeline)
         timeline = std::make_unique<obs::TimelineRecorder>(m.telemetry());
+
+    // The time-series recorder subscribes to spans only and samples
+    // the per-class/fast-path/PDES counters through the DomainGroup
+    // boundary hook — resource_wait stays with the MetricsHub alone,
+    // so the analytic fast path keeps its sole-subscriber guarantee
+    // and the hit-rate series is meaningful. With tsWindow == 0 the
+    // hook stays disarmed and nothing here runs.
+    std::unique_ptr<obs::TimeSeriesRecorder> tsRec;
+    if (opts.tsWindow > 0) {
+        tsRec = std::make_unique<obs::TimeSeriesRecorder>(m.telemetry(),
+                                                          opts.tsWindow);
+        m.eq().setSampleHook(
+            opts.tsWindow, [&m, &rec = *tsRec](sim::Tick boundary) {
+                rec.onBoundary(snapshotCounters(m, boundary));
+            });
+    }
 
     const apps::AppModel model =
         opts.scale < 1.0 ? app.scaled(opts.scale) : app;
@@ -122,6 +159,11 @@ runExperiment(const apps::AppModel &app, const hw::CedarConfig &base,
         r.trace = m.trace().records();
     if (timeline)
         r.timeline = timeline->take();
+    if (tsRec) {
+        r.timeseries =
+            tsRec->finalize(r.ct, snapshotCounters(m, r.ct), m.numCes());
+        m.eq().setSampleHook(0, {});
+    }
     return r;
 }
 

@@ -21,6 +21,7 @@
 #include "hw/config.hh"
 #include "obs/metrics.hh"
 #include "obs/telemetry.hh"
+#include "obs/timeseries.hh"
 #include "os/accounting.hh"
 #include "os/xylem.hh"
 #include "rtl/runtime.hh"
@@ -115,6 +116,10 @@ struct RunResult
      *  publish order (empty unless RunOptions::collectTimeline). */
     std::vector<obs::TelemetryEvent> timeline;
 
+    /** Windowed time series (empty unless RunOptions::tsWindow > 0;
+     *  see obs/timeseries.hh for the window semantics). */
+    obs::TimeSeries timeseries;
+
     double seconds() const { return static_cast<double>(ct) / clockHz; }
     double toSeconds(sim::Tick t) const
     {
@@ -186,6 +191,17 @@ struct RunOptions
     /** Cap on each merge window's span in ticks (0 = unbounded).
      *  Any value yields identical results; tests sweep it. */
     sim::Tick pdesWindow = 0;
+
+    /**
+     * Time-series sampling window in ticks (`--ts-window N`); 0 (the
+     * default) disables the recorder entirely. Like runThreads this
+     * is deliberately *not* part of the scenario format or
+     * core::canonicalHash: it cannot change a published result —
+     * every RunResult field except `timeseries` is bit-identical
+     * whether the recorder is on or off — so cached studies stay
+     * valid across settings.
+     */
+    sim::Tick tsWindow = 0;
 
     /** Fault plan injected into the run (see docs/FAULTS.md). */
     std::vector<fault::FaultSpec> faults;

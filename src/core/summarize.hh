@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Cross-study aggregation (`cedar_cli summarize`, schema
+ * "cedar-summary-v1").
+ *
+ * A study or batch run (core/study.hh) leaves a directory of
+ * per-scenario artifacts — `<name>.json` (cedar-scenario-v1) and
+ * `<name>.metrics.json` (cedar-metrics-v1) — indexed by a
+ * deterministic `manifest.json` snapshot. This layer walks one or
+ * more such directories and merges everything into a single report:
+ *
+ *  - **speedup surfaces**: scenarios produced by `--axis` grids are
+ *    regrouped by name with the geometry tokens (`__procs-*`,
+ *    `__clusters-*`, `__ces_per_cluster-*`) stripped, giving one row
+ *    per workload point with columns over processor counts and the
+ *    speedup against the row's smallest machine;
+ *  - **per-class contention league tables**: the scenarios ranked by
+ *    each resource class's wait intensity (wait ticks per kilotick
+ *    of run, which is comparable across runs of different lengths);
+ *  - **a hot-spot league**: per-run top-10 resources aggregated
+ *    across the study (appearances, total wait, mean/max share);
+ *  - **merged wait histograms**: per-class histograms rebuilt from
+ *    the metrics artifacts and folded with sim::Histogram::merge,
+ *    yielding cross-run p50/p95/p99 with the overflow-bucket clamp
+ *    semantics of a single run;
+ *  - optional **regression deltas** against a baseline study
+ *    directory, with bench_delta-style provenance notes when the
+ *    matched scenarios' scale/seed/machine provenance differs.
+ *
+ * Determinism: every table is keyed and sorted by scenario/resource
+ * name, directories are merged into name-keyed maps, and the output
+ * carries no paths or wall-clock times — so the summary of shard
+ * 0/2 ∪ 1/2 artifacts is byte-identical to the unsharded study's,
+ * in any directory order, before or after a `--resume`.
+ *
+ * Duplicate scenario names across directories must agree on the
+ * canonical hash (the shard-union case); conflicting hashes throw.
+ */
+
+#ifndef CEDAR_CORE_SUMMARIZE_HH
+#define CEDAR_CORE_SUMMARIZE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cedar::core
+{
+
+/** Inputs of one summarize invocation. */
+struct SummarizeOptions
+{
+    std::vector<std::string> dirs; //!< study/batch output directories
+    std::string baselineDir;       //!< optional baseline study dir
+    std::size_t top = 10;          //!< league-table depth
+};
+
+/** One completed scenario, merged from its two artifacts. */
+struct SummaryScenario
+{
+    std::string name;
+    std::string hash; //!< canonical scenario hash (dedup key)
+    std::string app;
+    std::string machineLabel;
+    std::string status;
+    unsigned nprocs = 0;
+    double scale = 1.0;
+    std::uint64_t seed = 0;
+    sim::Tick ct = 0;
+    double seconds = 0;
+    double concurrency = 0;
+    std::uint64_t eventsExecuted = 0;
+    double groundTruthPct = 0;
+    double moduleGini = 0;
+    sim::Tick totalWaitTicks = 0;
+
+    struct ClassRow
+    {
+        std::string cls;
+        unsigned resources = 0;
+        std::uint64_t requests = 0;
+        std::uint64_t waitTicks = 0;
+        std::uint64_t busyTicks = 0;
+        double utilization = 0;
+        double waitShare = 0;
+        sim::Tick histWidth = 0;
+        sim::Tick histMax = 0;
+        std::vector<std::uint64_t> histBuckets;
+    };
+    std::vector<ClassRow> classes;
+
+    struct HotSpot
+    {
+        std::string name;
+        std::string cls;
+        std::uint64_t waitTicks = 0;
+        double waitShare = 0;
+    };
+    std::vector<HotSpot> hotSpots;
+};
+
+/** A scenario the study could not complete. */
+struct SummaryFailure
+{
+    std::string name;
+    std::string status;
+    std::string error;
+};
+
+/** One machine point of a speedup row. */
+struct SpeedupPoint
+{
+    std::string name;
+    unsigned nprocs = 0;
+    double seconds = 0;
+    double speedup = 1.0; //!< vs the row's smallest machine
+    double concurrency = 0;
+};
+
+/** One workload point swept over machine geometry. */
+struct SpeedupRow
+{
+    std::string app;
+    std::string base; //!< name with geometry axis tokens stripped
+    std::vector<SpeedupPoint> points; //!< sorted by (nprocs, name)
+};
+
+/** One league-table row: a scenario's standing in one class. */
+struct LeagueRow
+{
+    std::string scenario;
+    std::uint64_t waitTicks = 0;
+    double waitPerKtick = 0; //!< wait ticks per 1000 ticks of run
+    double waitShare = 0;
+    double utilization = 0;
+};
+
+/** Per-class contention league. */
+struct ClassLeague
+{
+    std::string cls;
+    std::vector<LeagueRow> rows; //!< desc by waitPerKtick, top-K
+};
+
+/** Cross-study aggregate of one hot resource. */
+struct HotSpotRow
+{
+    std::string name;
+    std::string cls;
+    unsigned runs = 0; //!< runs whose top-10 it appeared in
+    std::uint64_t totalWaitTicks = 0;
+    double meanWaitShare = 0;
+    double maxWaitShare = 0;
+};
+
+/** Cross-run merged wait histogram of one class. */
+struct MergedHist
+{
+    std::string cls;
+    unsigned runs = 0;
+    std::uint64_t count = 0;
+    sim::Tick max = 0;
+    sim::Tick p50 = 0;
+    sim::Tick p95 = 0;
+    sim::Tick p99 = 0;
+};
+
+/** Regression delta of one scenario vs the baseline study. */
+struct BaselineDelta
+{
+    std::string name;
+    double secondsPct = 0;   //!< (new - old) / old * 100
+    double dConcurrency = 0; //!< new - old
+    double dGroundTruthPct = 0;
+};
+
+/** The full cross-study report. */
+struct Summary
+{
+    std::size_t top = 10;
+    std::vector<SummaryScenario> scenarios; //!< sorted by name
+    std::vector<SummaryFailure> failures;   //!< sorted by name
+    std::vector<std::string> apps;          //!< sorted, unique
+    std::vector<SpeedupRow> speedup;        //!< sorted by (app, base)
+    std::vector<ClassLeague> classLeagues;  //!< ResourceClass order
+    std::vector<HotSpotRow> hotSpots;
+    std::vector<MergedHist> mergedHists;
+
+    bool haveBaseline = false;
+    unsigned baselineScenarios = 0;
+    std::vector<BaselineDelta> deltas;  //!< matched names, sorted
+    std::vector<std::string> notes;     //!< provenance warnings
+};
+
+/**
+ * Load every directory in @p opts, merge, and build the report.
+ *
+ * @throws sim::ConfigError on a missing/corrupt manifest or
+ *         artifact, or when two directories publish the same
+ *         scenario name with different canonical hashes.
+ */
+Summary buildSummary(const SummarizeOptions &opts);
+
+/** Machine-readable export (schema "cedar-summary-v1"). */
+void writeSummaryJson(std::ostream &os, const Summary &s);
+
+/** Human-readable report (speedup surface + league tables). */
+void writeSummaryMarkdown(std::ostream &os, const Summary &s);
+
+} // namespace cedar::core
+
+#endif // CEDAR_CORE_SUMMARIZE_HH

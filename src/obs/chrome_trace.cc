@@ -5,6 +5,7 @@
 #include <set>
 
 #include "bench_json.hh"
+#include "obs/timeseries.hh"
 #include "sim/error.hh"
 
 namespace cedar::obs
@@ -194,6 +195,63 @@ constexpr unsigned pid_gm = 1;
 constexpr unsigned pid_stage1 = 2;
 constexpr unsigned pid_stage2 = 3;
 constexpr unsigned pid_return = 4;
+constexpr unsigned pid_telemetry = 5; //!< windowed counter tracks
+
+/** One 'C' counter sample (each name is its own counter track). */
+void
+counter(tools::JsonWriter &j, const std::string &name, double ts,
+        double value)
+{
+    j.beginObject();
+    j.field("name", name);
+    j.field("cat", "timeseries");
+    j.field("ph", "C");
+    j.field("ts", ts);
+    j.field("pid", pid_telemetry);
+    j.key("args").beginObject().field("value", value).endObject();
+    j.endObject();
+}
+
+/** All counter tracks for one time series: one sample per window,
+ *  placed at the window's opening edge (Perfetto holds a counter's
+ *  value until its next sample). */
+void
+counterTracks(tools::JsonWriter &j, const TimeSeries &ts, double us)
+{
+    for (const auto &w : ts.windows) {
+        const double t = static_cast<double>(w.start) * us;
+        const double width = static_cast<double>(w.width());
+        if (width <= 0)
+            continue;
+        for (std::size_t c = 0; c < num_resource_classes; ++c) {
+            const auto cls = static_cast<ResourceClass>(c);
+            if (isQueueingClass(cls))
+                counter(j, std::string("queue_depth.") + toString(cls),
+                        t,
+                        static_cast<double>(w.classes.waitTicks[c]) /
+                            width);
+            if (w.classes.resources[c] > 0)
+                counter(j, std::string("utilization.") + toString(cls),
+                        t,
+                        static_cast<double>(w.classes.busyTicks[c]) /
+                            (width * w.classes.resources[c]));
+        }
+        for (std::size_t c = 0; c < num_time_cats; ++c)
+            counter(j,
+                    std::string("ces_in.") +
+                        os::toString(static_cast<os::TimeCat>(c)),
+                    t, static_cast<double>(w.catTicks[c]) / width);
+        const double bursts =
+            static_cast<double>(w.fastHits + w.fastMisses);
+        counter(j, "fastpath_hit_rate", t,
+                bursts > 0 ? static_cast<double>(w.fastHits) / bursts
+                           : 0.0);
+        counter(j, "cross_domain_posts", t,
+                static_cast<double>(w.crossPosts));
+        counter(j, "events_per_ktick", t,
+                1000.0 * static_cast<double>(w.events) / width);
+    }
+}
 
 } // namespace
 
@@ -256,6 +314,10 @@ writeSpanTrace(std::ostream &os,
             threadMeta(j, pid_return, static_cast<unsigned>(p),
                        "return port " + std::to_string(p));
     }
+    const bool haveSeries =
+        meta.timeseries != nullptr && !meta.timeseries->empty();
+    if (haveSeries)
+        processMeta(j, pid_telemetry, "telemetry");
 
     for (const auto &e : events) {
         if (e.kind == EventKind::span) {
@@ -314,6 +376,9 @@ writeSpanTrace(std::ostream &os,
             break;
         }
     }
+
+    if (haveSeries)
+        counterTracks(j, *meta.timeseries, us);
 
     j.endArray();
     j.field("displayTimeUnit", "ms");

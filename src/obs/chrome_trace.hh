@@ -45,11 +45,18 @@ void convertTraceFile(const std::string &chpm_path,
                       const std::string &json_path,
                       double clock_hz = sim::default_clock_hz);
 
+struct TimeSeries;
+
 /** Rendering options for the span-level (telemetry) trace. */
 struct SpanTraceMeta
 {
     double clock_hz = sim::default_clock_hz;
     unsigned ces_per_cluster = 0; //!< 0 = flat "CE n" track names
+
+    /** Optional windowed time series (obs/timeseries.hh): non-null
+     *  and non-empty adds Perfetto counter tracks (ph 'C') under a
+     *  dedicated "telemetry" process alongside the span tracks. */
+    const TimeSeries *timeseries = nullptr;
 };
 
 /**
@@ -62,7 +69,11 @@ struct SpanTraceMeta
  * memory module, pids 2/3/4 a track per network stage-1 / stage-2 /
  * return-path port. GM-request flows render as arrows ('s'/'t'/'f'
  * events sharing the flow id) from the issuing CE through the ports
- * and module slice back to the CE.
+ * and module slice back to the CE. With meta.timeseries set, pid 5
+ * carries one counter track per windowed series — per-class queue
+ * depth and utilization, per-TimeCat CE occupancy, the fast-path
+ * hit rate and the PDES cross-domain post rate — sampled once per
+ * window at its opening edge.
  *
  * @throws sim::SimError when meta.clock_hz is not positive.
  */

@@ -6,6 +6,7 @@
 
 #include "bench_json.hh"
 #include "hw/machine.hh"
+#include "obs/timeseries.hh"
 #include "os/xylem.hh"
 #include "sim/error.hh"
 
@@ -182,7 +183,7 @@ MetricsReport::perClass(ResourceClass cls) const
 }
 
 void
-MetricsReport::writeJson(std::ostream &os) const
+MetricsReport::writeJson(std::ostream &os, const TimeSeries *ts) const
 {
     tools::JsonWriter j(os);
     j.beginObject();
@@ -234,6 +235,11 @@ MetricsReport::writeJson(std::ostream &os) const
         j.endObject();
     }
     j.endArray();
+
+    if (ts != nullptr && !ts->empty()) {
+        j.key("timeseries");
+        writeTimeSeriesJson(j, *ts);
+    }
     j.endObject();
 }
 

@@ -44,6 +44,8 @@ class Machine;
 namespace cedar::obs
 {
 
+struct TimeSeries;
+
 /** Snapshot of one FIFO-server resource. */
 struct ResourceMetrics
 {
@@ -98,8 +100,14 @@ struct MetricsReport
     /** Aggregate of one class (classes[] indexed by enum order). */
     const ClassMetrics &perClass(ResourceClass cls) const;
 
-    /** Machine-readable export (schema "cedar-metrics-v1"). */
-    void writeJson(std::ostream &os) const;
+    /**
+     * Machine-readable export (schema "cedar-metrics-v1"). When
+     * @p ts is non-null and non-empty the document carries a
+     * "timeseries" section (schema "cedar-timeseries-v1", see
+     * obs/timeseries.hh); a null/empty series leaves the output
+     * byte-identical to the historical format.
+     */
+    void writeJson(std::ostream &os, const TimeSeries *ts = nullptr) const;
 
     /** Human-readable hot-spot report (cedar_cli metrics). */
     void print(std::ostream &os, std::size_t top_k = 10) const;

@@ -80,6 +80,8 @@ DomainGroup::execOne(EventQueue &d)
     const EventQueue::Node node = d.events_.popMin();
     assert(node.when >= now_);
     now_ = node.when;
+    if (node.when >= sampleNext_)
+        crossBoundary(node.when);
     d._now = node.when;
     ++executed_;
     ++d.executed_;
@@ -88,6 +90,40 @@ DomainGroup::execOne(EventQueue &d)
     d.freeSlots_.push_back(node.slot);
     ExecScope scope(executing_, static_cast<int>(d.domainIndex_));
     fn();
+}
+
+void
+DomainGroup::crossBoundary(Tick when)
+{
+    // One hook invocation per crossed boundary, even when one event
+    // jumps several windows ahead: the recorder sees identical
+    // cumulative counters at the skipped boundaries, which is the
+    // truth (nothing executed in between).
+    while (sampleNext_ <= when) {
+        if (sampleHook_)
+            sampleHook_(sampleNext_);
+        const Tick next = satAdd(sampleNext_, sampleWindow_);
+        if (next == sampleNext_) { // saturated at max_tick
+            sampleNext_ = max_tick;
+            break;
+        }
+        sampleNext_ = next;
+    }
+}
+
+void
+DomainGroup::setSampleHook(Tick window, std::function<void(Tick)> hook)
+{
+    sampleWindow_ = window;
+    if (window == 0) {
+        sampleHook_ = {};
+        sampleNext_ = max_tick;
+        return;
+    }
+    sampleHook_ = std::move(hook);
+    // Boundaries stay aligned to absolute simulated time: the next
+    // one is the first multiple of the window strictly after now().
+    sampleNext_ = satAdd(now_ - now_ % window, window);
 }
 
 DomainGroup::Key
@@ -254,6 +290,7 @@ DomainGroup::reset()
     batchBound_ = key_max;
     windows_ = 0;
     crossPosts_ = 0;
+    sampleNext_ = sampleWindow_ ? sampleWindow_ : max_tick;
 }
 
 std::size_t

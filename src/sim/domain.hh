@@ -42,6 +42,7 @@
 #define CEDAR_SIM_DOMAIN_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -172,6 +173,25 @@ class DomainGroup
     /** Index of the domain currently executing an event, or -1. */
     int executingDomain() const { return executing_; }
 
+    // ----- simulated-time sampling hook -----
+
+    /**
+     * Arm the window-boundary sampling hook: @p hook fires once per
+     * crossed boundary tick k * @p window (k >= 1, ascending), just
+     * before the first event at or past the boundary executes — so
+     * at hook time every counter reflects exactly the events that
+     * ran strictly before the boundary. A time jump across several
+     * windows fires the hook once per skipped boundary. @p window 0
+     * disarms (the default): the only residual cost is a single
+     * always-false compare per event, which is what keeps disabled
+     * runs bit-identical.
+     *
+     * The hook runs outside any event (executingDomain() == -1) and
+     * must not schedule events or mutate simulation state — it is a
+     * read-only observation point (obs::TimeSeriesRecorder).
+     */
+    void setSampleHook(Tick window, std::function<void(Tick)> hook);
+
   private:
     friend class EventQueue;
 
@@ -203,6 +223,10 @@ class DomainGroup
     /** Pop and execute domain @p d's minimal event. */
     void execOne(EventQueue &d);
 
+    /** Cold path of the sampling hook: fire it for every boundary
+     *  at or before @p when and advance the next-boundary tick. */
+    void crossBoundary(Tick when);
+
     /** Minimal key of every domain except @p skip. */
     Key boundExcluding(const EventQueue *skip) const;
 
@@ -222,6 +246,12 @@ class DomainGroup
     Tick window_ = 0;
     std::uint64_t windows_ = 0;
     std::uint64_t crossPosts_ = 0;
+
+    /** Next sampling boundary (max_tick = disarmed: one predictable
+     *  never-taken compare per event). */
+    Tick sampleNext_ = max_tick;
+    Tick sampleWindow_ = 0;
+    std::function<void(Tick)> sampleHook_;
 };
 
 /**

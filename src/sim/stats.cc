@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/error.hh"
+
 namespace cedar::sim
 {
 
@@ -37,6 +39,38 @@ Histogram::percentile(double frac) const
     // far beyond its nominal bound; maxSample() is the only honest
     // upper estimate there.
     return max_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (width_ != other.width_ ||
+        buckets_.size() != other.buckets_.size())
+        throw SimError(
+            "histogram merge: geometry mismatch (width " +
+            std::to_string(width_) + "x" +
+            std::to_string(buckets_.size()) + " vs " +
+            std::to_string(other.width_) + "x" +
+            std::to_string(other.buckets_.size()) + ")");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram
+Histogram::fromBuckets(Tick bucket_width,
+                       const std::vector<std::uint64_t> &buckets,
+                       Tick max_sample)
+{
+    if (buckets.empty())
+        throw SimError("histogram: at least one bucket required");
+    Histogram h(bucket_width, buckets.size());
+    h.buckets_ = buckets;
+    for (const auto b : buckets)
+        h.count_ += b;
+    h.max_ = max_sample;
+    return h;
 }
 
 std::string

@@ -153,6 +153,29 @@ class Histogram
     /** Smallest value v such that at least frac of samples <= v. */
     Tick percentile(double frac) const;
 
+    /**
+     * Fold @p other into this histogram: element-wise bucket sums
+     * (the overflow bucket included), summed counts and the larger
+     * maxSample, so cross-run percentiles keep the overflow-bucket
+     * clamp semantics of percentile(). Both histograms must share
+     * the same bucket width and bucket count.
+     *
+     * @throws SimError on a geometry mismatch.
+     */
+    void merge(const Histogram &other);
+
+    /**
+     * Rebuild a histogram from its serialized form (bucket counts +
+     * maxSample, as emitted in cedar-metrics-v1 wait_hist sections):
+     * the result compares equal, bucket for bucket, to the histogram
+     * that was exported. count() is recomputed as the bucket sum.
+     *
+     * @throws SimError when @p buckets is empty.
+     */
+    static Histogram fromBuckets(Tick bucket_width,
+                                 const std::vector<std::uint64_t> &buckets,
+                                 Tick max_sample);
+
     std::string toString() const;
 
   private:

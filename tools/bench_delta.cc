@@ -50,10 +50,13 @@ load(const std::string &path)
 }
 
 /** events_per_sec of @p app at @p procs in a sweep document, or -1
- *  when that configuration was not measured. */
+ *  when that configuration was not measured. Tolerates documents
+ *  with the section missing entirely (foreign or truncated files). */
 double
 sweepEvs(const JsonValue &doc, const std::string &app, double procs)
 {
+    if (!doc.has("apps"))
+        return -1;
     for (const auto &a : doc.at("apps").asArray()) {
         if (a.at("app").asString() != app)
             continue;
@@ -62,6 +65,15 @@ sweepEvs(const JsonValue &doc, const std::string &app, double procs)
                 return c.at("events_per_sec").asNumber();
     }
     return -1;
+}
+
+/** A document section as an array, or empty when absent — older
+ *  baselines simply lack the sections newer schemas added. */
+const std::vector<JsonValue> &
+section(const JsonValue &doc, const std::string &key)
+{
+    static const std::vector<JsonValue> empty;
+    return doc.has(key) ? doc.at(key).asArray() : empty;
 }
 
 std::string
@@ -84,9 +96,21 @@ ratio(double v)
     return ss.str();
 }
 
+/**
+ * Provenance checks tolerate missing fields: deltas are routinely
+ * taken against a committed baseline written by an older schema
+ * (e.g. one predating a new bench section), and a missing field is
+ * a schema-vintage note, not an input error.
+ */
 void
 warnOnProvenance(const JsonValue &oldDoc, const JsonValue &newDoc)
 {
+    if (!oldDoc.has("repeat") || !newDoc.has("repeat") ||
+        !oldDoc.has("scale") || !newDoc.has("scale")) {
+        std::cerr << "note: provenance fields missing in one input "
+                     "(older schema); skipping repeat/scale checks\n";
+        return;
+    }
     const double oldRep = oldDoc.at("repeat").asNumber();
     const double newRep = newDoc.at("repeat").asNumber();
     if (oldRep < min_trusted_repeat)
@@ -128,7 +152,7 @@ main(int argc, char **argv)
         warnOnProvenance(oldDoc, newDoc);
 
         std::cout << "sweep trajectory (new vs baseline):\n";
-        for (const auto &a : newDoc.at("apps").asArray()) {
+        for (const auto &a : section(newDoc, "apps")) {
             const std::string app = a.at("app").asString();
             std::cout << "  " << app << ":";
             for (const auto &c : a.at("configs").asArray()) {
@@ -145,7 +169,7 @@ main(int argc, char **argv)
         }
 
         std::cout << "fast-path legs:\n";
-        for (const auto &leg : newDoc.at("fast_path").asArray()) {
+        for (const auto &leg : section(newDoc, "fast_path")) {
             const std::string app = leg.at("app").asString();
             const double procs = leg.at("procs").asNumber();
             const double fast =
@@ -199,6 +223,39 @@ main(int argc, char **argv)
                                     << ", baseline scaling "
                                     << ratio(was);
                         }
+                std::cout << "\n";
+            }
+        }
+
+        // The timeseries section arrived with schema v4; a committed
+        // pre-v4 baseline simply has no counterpart to compare, and
+        // its absence in either document must not break the delta.
+        if (newDoc.has("timeseries")) {
+            std::cout << "timeseries legs (recorder-off overhead):\n";
+            for (const auto &leg : section(newDoc, "timeseries")) {
+                const std::string app = leg.at("app").asString();
+                const double procs = leg.at("procs").asNumber();
+                std::cout
+                    << "  " << app << " " << procs << "p: plain "
+                    << evs(leg.at("plain_events_per_sec").asNumber())
+                    << " ev/s, recorder-off "
+                    << evs(leg.at("recorder_off_events_per_sec")
+                               .asNumber())
+                    << " ev/s, overhead "
+                    << leg.at("overhead_pct").asNumber()
+                    << "% (design max "
+                    << leg.at("design_max_overhead_pct").asNumber()
+                    << "%, "
+                    << (leg.at("guard_enforced").asBool()
+                            ? "guarded"
+                            : "informational")
+                    << ")";
+                for (const auto &old : section(oldDoc, "timeseries"))
+                    if (old.at("app").asString() == app &&
+                        old.at("procs").asNumber() == procs)
+                        std::cout << ", baseline overhead "
+                                  << old.at("overhead_pct").asNumber()
+                                  << "%";
                 std::cout << "\n";
             }
         }

@@ -33,6 +33,12 @@
  *   study    — expand one base scenario into a parameter grid
  *              (--axis section.key=v1,v2,...) and run it on the same
  *              engine; --list prints the grid without running.
+ *   summarize — aggregate one or more study/batch output directories
+ *              into a cross-study report (core/summarize.hh):
+ *              speedup surfaces over --axis grids, per-class
+ *              contention league tables, merged wait histograms and
+ *              optional --baseline regression deltas. Markdown on
+ *              stdout; --json/--md write cedar-summary-v1 artifacts.
  *   apps     — list the built-in application models.
  *
  * run, sweep, metrics and trace all accept `--scenario FILE` in
@@ -59,6 +65,9 @@
  *   cedar_cli batch examples/scenarios --out /tmp/r --shard 0/2
  *   cedar_cli study base.scn --axis machine.procs=4,8,16 \
  *             --axis run.scale=0.1,0.5 --out /tmp/grid
+ *   cedar_cli summarize /tmp/grid --json summary.json
+ *   cedar_cli summarize /tmp/shard0 /tmp/shard1 --baseline /tmp/old
+ *   cedar_cli metrics ADM 16 --ts-window 100000 --json adm.json
  */
 
 #include <algorithm>
@@ -84,6 +93,7 @@
 #include "core/report.hh"
 #include "core/scenario.hh"
 #include "core/study.hh"
+#include "core/summarize.hh"
 #include "core/table.hh"
 #include "fault/fault.hh"
 #include "hpm/trace.hh"
@@ -114,6 +124,9 @@ usage()
            "                     causality check, 0 = off)\n"
            "                     [--pdes-window N] (merge-window\n"
            "                     tick cap, 0 = unbounded)\n"
+           "                     [--ts-window N] (time-series sampling\n"
+           "                     window in ticks, 0 = off; results are\n"
+           "                     bit-identical either way)\n"
            "  cedar_cli run-file <workload.txt> <procs> [flags]\n"
            "  cedar_cli run      --scenario <file.scn> [run flags]\n"
            "  cedar_cli sweep    <app> [--seed N] [--scale F]\n"
@@ -138,6 +151,9 @@ usage()
            "                     [--cache DIR] [--watchdog-events N]\n"
            "  cedar_cli study    <base.scn> --axis sec.key=v1,v2,...\n"
            "                     [--axis ...] [--list] [batch flags]\n"
+           "  cedar_cli summarize <study-dir>... [--baseline DIR]\n"
+           "                     [--top K] [--json FILE] [--md FILE]\n"
+           "                     [--quiet]\n"
            "  cedar_cli profile  <app> <procs>\n"
            "  cedar_cli apps\n"
            "\nrun, sweep, report and batch accept --progress (live\n"
@@ -212,6 +228,8 @@ struct Flags
     bool listOnly = false;
     /** study: sweep axes (--axis section.key=v1,v2,...). */
     std::vector<core::GridAxis> axes;
+    /** summarize: baseline study directory for regression deltas. */
+    std::string baselineDir;
     /** batch/study: study-wide watchdog budget (only when given). */
     std::optional<std::uint64_t> watchdogOverride;
     /** Live progress heartbeat on stderr. */
@@ -256,6 +274,10 @@ parseFlags(const std::vector<std::string> &args, std::size_t from,
             f.opts.pdesLookahead = parseCount(a, value());
         } else if (a == "--pdes-window") {
             f.opts.pdesWindow = parseCount(a, value());
+        } else if (a == "--ts-window") {
+            f.opts.tsWindow = parseCount(a, value());
+        } else if (a == "--baseline") {
+            f.baselineDir = value();
         } else if (a == "--jobs") {
             f.jobs = static_cast<unsigned>(parseCount(a, value()));
         } else if (a == "--top") {
@@ -752,8 +774,10 @@ cmdMetrics(const std::vector<std::string> &args)
     }
 
     if (!f.jsonOut.empty()) {
+        // With --ts-window the document grows a "timeseries" section;
+        // without it the output is byte-identical to older builds.
         core::atomicWriteFile(f.jsonOut, [&](std::ostream &out) {
-            r.metrics.writeJson(out);
+            r.metrics.writeJson(out, &r.timeseries);
         });
         std::cout << "wrote metrics JSON to " << f.jsonOut << "\n";
     }
@@ -837,6 +861,7 @@ cmdTrace(const std::vector<std::string> &args)
         obs::SpanTraceMeta meta;
         meta.clock_hz = r.clockHz;
         meta.ces_per_cluster = r.cesPerCluster;
+        meta.timeseries = &r.timeseries; // counter tracks (--ts-window)
         core::atomicWriteFile(args[4], [&](std::ostream &out) {
             obs::writeSpanTrace(out, r.timeline, meta);
         });
@@ -983,6 +1008,46 @@ cmdStudy(const std::vector<std::string> &args)
     return runStudyCli("study", entries, args[2], f);
 }
 
+/**
+ * Cross-study aggregation: merge one or more study/batch output
+ * directories (by their manifest snapshots) into a cedar-summary-v1
+ * report. Pure read-side analytics — nothing is simulated — and
+ * deterministic: the same artifact set yields byte-identical output
+ * in any directory order, sharded or not.
+ */
+int
+cmdSummarize(const std::vector<std::string> &args)
+{
+    core::SummarizeOptions sopts;
+    std::size_t i = 2;
+    for (; i < args.size() && args[i][0] != '-'; ++i)
+        sopts.dirs.push_back(args[i]);
+    if (sopts.dirs.empty())
+        return usage();
+    Flags f;
+    if (!parseFlags(args, i, f))
+        return usage();
+    sopts.baselineDir = f.baselineDir;
+    sopts.top = f.top;
+
+    const auto summary = core::buildSummary(sopts);
+    if (!f.quiet)
+        core::writeSummaryMarkdown(std::cout, summary);
+    if (!f.jsonOut.empty()) {
+        core::atomicWriteFile(f.jsonOut, [&](std::ostream &out) {
+            core::writeSummaryJson(out, summary);
+        });
+        std::cerr << "wrote summary JSON to " << f.jsonOut << "\n";
+    }
+    if (!f.mdOut.empty()) {
+        core::atomicWriteFile(f.mdOut, [&](std::ostream &out) {
+            core::writeSummaryMarkdown(out, summary);
+        });
+        std::cerr << "wrote summary markdown to " << f.mdOut << "\n";
+    }
+    return summary.failures.empty() ? 0 : 3;
+}
+
 int
 cmdProfile(const std::vector<std::string> &args)
 {
@@ -1051,6 +1116,8 @@ main(int argc, char **argv)
             return cmdBatch(args);
         if (args[1] == "study")
             return cmdStudy(args);
+        if (args[1] == "summarize")
+            return cmdSummarize(args);
         if (args[1] == "profile")
             return cmdProfile(args);
         if (args[1] == "apps")
